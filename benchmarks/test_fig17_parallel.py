@@ -1,0 +1,59 @@
+"""Figure 17: parallel stream slicing (M4 dashboard workload).
+
+Paper shape: throughput scales near-linearly with the degree of
+parallelism while dedicated cores are available, CPU utilization grows
+with the worker count, and slicing holds an order-of-magnitude lead
+over buckets at every parallelism level (80 concurrent windows per
+operator instance).
+"""
+
+import os
+
+from conftest import save_table
+
+from repro.experiments.figures import fig17_parallel
+
+CPUS = os.cpu_count() or 1
+PARALLELISM = tuple(p for p in (1, 2, 4) if p <= CPUS) or (1,)
+
+
+def run():
+    return fig17_parallel(parallelism_list=PARALLELISM, num_records=16_000)
+
+
+def test_fig17_parallel(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(table)
+    slicing = {
+        row["parallelism"]: row["throughput"]
+        for row in table.rows
+        if row["technique"] == "Lazy Slicing"
+    }
+    buckets = {
+        row["parallelism"]: row["throughput"]
+        for row in table.rows
+        if row["technique"] == "Buckets"
+    }
+
+    # Slicing dominates buckets at every parallelism level.
+    for parallelism in PARALLELISM:
+        assert slicing[parallelism] > 2 * buckets[parallelism], (
+            parallelism,
+            slicing,
+            buckets,
+        )
+
+    if len(PARALLELISM) > 1 and CPUS >= 2 * PARALLELISM[-1] // 2:
+        # Some scaling with cores (fork overhead keeps it sub-linear at
+        # this workload size, but more workers must not be slower than
+        # half of one worker's rate).
+        top = PARALLELISM[-1]
+        assert slicing[top] > 0.5 * slicing[1], slicing
+
+    cpu = {
+        row["parallelism"]: row["cpu_percent"]
+        for row in table.rows
+        if row["technique"] == "Lazy Slicing"
+    }
+    if len(PARALLELISM) > 1:
+        assert cpu[PARALLELISM[-1]] > cpu[PARALLELISM[0]] * 0.8, cpu

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: general stream slicing in five minutes.
+
+Builds one general slicing operator, registers three queries with
+different window types -- all sharing a single slice chain -- and feeds
+it a small in-order stream.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Average, Max, Sum
+from repro.windows import SessionWindow, SlidingWindow, TumblingWindow
+
+
+def main() -> None:
+    # One operator; the stream is declared in-order so every record also
+    # acts as a watermark and windows are emitted immediately.
+    operator = GeneralSlicingOperator(stream_in_order=True)
+
+    # Three concurrent queries share the same slices:
+    q_tumbling = operator.add_query(TumblingWindow(10), Sum())
+    q_sliding = operator.add_query(SlidingWindow(length=20, slide=5), Average())
+    q_session = operator.add_query(SessionWindow(gap=7), Max())
+    names = {
+        q_tumbling.query_id: "sum over tumbling(10)",
+        q_sliding.query_id: "avg over sliding(20, 5)",
+        q_session.query_id: "max over session(gap=7)",
+    }
+
+    # A little activity burst, a quiet period, then more activity.
+    timestamps = list(range(0, 30, 2)) + list(range(45, 60, 3))
+    stream = [Record(ts, float(ts % 10)) for ts in timestamps]
+
+    print("feeding", len(stream), "records...\n")
+    for element in stream:
+        for result in operator.process(element):
+            print(
+                f"  [{names[result.query_id]:>24}] "
+                f"window [{result.start:>3}, {result.end:>3}) -> {result.value}"
+            )
+
+    # A final watermark flushes everything still open.
+    print("\nflushing with a final watermark...")
+    for result in operator.process(Watermark(10_000)):
+        print(
+            f"  [{names[result.query_id]:>24}] "
+            f"window [{result.start:>3}, {result.end:>3}) -> {result.value}"
+        )
+
+    print("\nworkload characteristics the operator derived:")
+    for kind, chars in operator.characteristics.items():
+        print(f"-- {kind.value} chain --")
+        print(chars.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that legacy
+editable installs (``pip install -e .``) work in offline environments
+where PEP 517 build isolation cannot fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""General stream slicing for efficient window aggregation.
+
+A from-scratch Python reproduction of
+
+    Jonas Traub, Philipp Grulich, Alejandro Rodriguez Cuellar,
+    Sebastian Bress, Asterios Katsifodimos, Tilmann Rabl, Volker Markl:
+    "Efficient Window Aggregation with General Stream Slicing",
+    EDBT 2019.
+
+Quickstart
+----------
+>>> from repro import GeneralSlicingOperator, Record, Watermark
+>>> from repro.windows import TumblingWindow
+>>> from repro.aggregations import Sum
+>>> op = GeneralSlicingOperator(stream_in_order=True)
+>>> _ = op.add_query(TumblingWindow(10), Sum())
+>>> results = op.run([Record(ts, 1.0) for ts in range(25)])
+>>> [(r.start, r.end, r.value) for r in results]
+[(0, 10, 10.0), (10, 20, 10.0)]
+
+The package layout mirrors the paper:
+
+* :mod:`repro.core` -- general stream slicing (Section 5),
+* :mod:`repro.aggregations` -- lift/combine/lower/invert functions
+  (Section 5.4.1),
+* :mod:`repro.windows` -- window types by context class (Section 4.4),
+* :mod:`repro.baselines` -- the Section 3 comparison techniques,
+* :mod:`repro.runtime` -- the tuple-at-a-time substrate, metrics,
+  memory accounting, and key-partitioned parallelism,
+* :mod:`repro.data` -- synthetic stand-ins for the paper's datasets,
+* :mod:`repro.experiments` -- the per-figure experiment harness.
+"""
+
+from .core import (
+    GeneralSlicingOperator,
+    Punctuation,
+    Query,
+    Record,
+    StreamOrderViolation,
+    Watermark,
+    WindowOperator,
+    WindowResult,
+    WorkloadCharacteristics,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeneralSlicingOperator",
+    "WindowOperator",
+    "StreamOrderViolation",
+    "Record",
+    "Watermark",
+    "Punctuation",
+    "WindowResult",
+    "Query",
+    "WorkloadCharacteristics",
+    "__version__",
+]

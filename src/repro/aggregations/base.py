@@ -1,0 +1,154 @@
+"""The incremental aggregation framework (Section 5.4.1 of the paper).
+
+Every aggregation is described by four functions, following Tangwongsan
+et al. (General Incremental Sliding-Window Aggregation, PVLDB 2015):
+
+``lift``
+    Transform one input value into a partial aggregate.
+``combine`` (:math:`\\oplus`)
+    Merge two partial aggregates into one.  Must be associative; slicing
+    relies on associativity to share partials among windows.
+``lower``
+    Turn a partial aggregate into the final window result.
+``invert`` (:math:`\\ominus`, optional)
+    Remove a partial aggregate from another incrementally.  Only
+    invertible aggregations provide it; the slice manager exploits it to
+    shift records between count-based slices cheaply (Figure 6).
+
+Algebraic properties (Section 4.2) are exposed as class attributes so
+that the workload-characterization logic (:mod:`repro.core.characteristics`)
+can inspect registered queries:
+
+* ``commutative`` -- whether :math:`x \\oplus y = y \\oplus x`.  Slicing
+  must keep raw records for non-commutative aggregations on out-of-order
+  streams (Figure 4).
+* ``invertible`` -- whether an ``invert`` implementation exists.
+* ``kind`` -- distributive / algebraic / holistic (Gray et al.).
+  Holistic aggregations have unbounded partial-aggregate size and force
+  record retention.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Generic, Iterable, Optional, TypeVar
+
+V = TypeVar("V")  # input value
+P = TypeVar("P")  # partial aggregate
+R = TypeVar("R")  # final result
+
+__all__ = ["AggregationClass", "AggregateFunction", "fold", "fold_records"]
+
+
+class AggregationClass(enum.Enum):
+    """Gray et al.'s classification of aggregate functions (Section 4.2)."""
+
+    #: Partials equal finals and have constant size (sum, min, max).
+    DISTRIBUTIVE = "distributive"
+    #: Fixed-size intermediate summarizes the partials (avg, M4, variance).
+    ALGEBRAIC = "algebraic"
+    #: Partial aggregates grow without bound (median, percentiles).
+    HOLISTIC = "holistic"
+
+
+class AggregateFunction(Generic[V, P, R]):
+    """Base class for all aggregations.
+
+    Subclasses implement :meth:`lift`, :meth:`combine`, and :meth:`lower`
+    and declare their algebraic properties.  Invertible aggregations
+    additionally implement :meth:`invert`.
+
+    Partial aggregates must be treated as immutable values: ``combine``
+    and ``invert`` return new partials rather than mutating arguments, so
+    partials can safely be shared between slices and aggregate trees.
+    """
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "aggregate"
+    #: All supported aggregations are associative (required for slicing).
+    associative: bool = True
+    #: Whether combine commutes.
+    commutative: bool = True
+    #: Whether :meth:`invert` is implemented.
+    invertible: bool = False
+    #: Distributive / algebraic / holistic.
+    kind: AggregationClass = AggregationClass.ALGEBRAIC
+
+    def lift(self, value: V) -> P:
+        """Transform an input value into a partial aggregate."""
+        raise NotImplementedError
+
+    def combine(self, left: P, right: P) -> P:
+        """Merge two partial aggregates (the :math:`\\oplus` operation).
+
+        ``left`` precedes ``right`` in stream order; non-commutative
+        aggregations rely on this ordering.
+        """
+        raise NotImplementedError
+
+    def lower(self, partial: P) -> R:
+        """Transform a partial aggregate into the final result."""
+        raise NotImplementedError
+
+    def invert(self, partial: P, removed: P) -> P:
+        """Remove ``removed`` from ``partial`` (the :math:`\\ominus` operation).
+
+        Only available when :attr:`invertible` is ``True``.
+        """
+        raise NotImplementedError(f"{self.name} is not invertible")
+
+    def identity(self) -> Optional[P]:
+        """Return the neutral element of :meth:`combine`, or ``None``.
+
+        Aggregations without a natural identity return ``None``; callers
+        must then special-case empty sequences (see :func:`fold`).
+        """
+        return None
+
+    def lower_or_default(self, partial: Optional[P]) -> Any:
+        """Lower ``partial``; empty windows lower to :meth:`empty_result`."""
+        if partial is None:
+            return self.empty_result()
+        return self.lower(partial)
+
+    def empty_result(self) -> Any:
+        """The result reported for an empty window (default ``None``)."""
+        return None
+
+    def signature(self) -> tuple:
+        """Sharing key: queries whose aggregations have equal signatures
+        share one partial aggregate per slice.
+
+        Parameterless aggregations share by class; parametrized ones
+        (e.g. :class:`~repro.aggregations.holistic.Percentile`) must
+        include their parameters.
+        """
+        return (type(self),)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}()"
+
+
+def fold(
+    function: AggregateFunction[V, P, R], values: Iterable[V]
+) -> Optional[P]:
+    """Fold raw values into one partial aggregate in the given order.
+
+    Returns ``None`` for an empty iterable (windows with no records).
+    This is the recomputation primitive used by slice splits and by
+    non-commutative out-of-order updates.
+    """
+    partial: Optional[P] = None
+    for value in values:
+        lifted = function.lift(value)
+        partial = lifted if partial is None else function.combine(partial, lifted)
+    return partial
+
+
+def fold_records(function: AggregateFunction, records: Iterable[Any]) -> Optional[Any]:
+    """Fold :class:`~repro.core.types.Record` objects by their ``value``."""
+    partial = None
+    for record in records:
+        lifted = function.lift(record.value)
+        partial = lifted if partial is None else function.combine(partial, lifted)
+    return partial

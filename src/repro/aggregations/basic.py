@@ -1,0 +1,166 @@
+"""Distributive and simple algebraic aggregations.
+
+These correspond to the aggregation catalogue of Tangwongsan et al.
+(PVLDB 2015) that the paper benchmarks in Figure 13: Sum, Count, Average,
+Min, Max, and the deliberately crippled ``SumWithoutInvert`` used in the
+paper to show the cost of losing invertibility on count-based windows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from .base import AggregateFunction, AggregationClass
+
+__all__ = [
+    "Sum",
+    "SumWithoutInvert",
+    "Count",
+    "Average",
+    "Min",
+    "Max",
+]
+
+
+class Sum(AggregateFunction[float, float, float]):
+    """Invertible, commutative, distributive sum."""
+
+    name = "sum"
+    commutative = True
+    invertible = True
+    kind = AggregationClass.DISTRIBUTIVE
+
+    def lift(self, value: float) -> float:
+        return value
+
+    def combine(self, left: float, right: float) -> float:
+        return left + right
+
+    def lower(self, partial: float) -> float:
+        return partial
+
+    def invert(self, partial: float, removed: float) -> float:
+        return partial - removed
+
+    def identity(self) -> float:
+        return 0
+
+
+class SumWithoutInvert(Sum):
+    """Sum with invertibility disabled (the paper's "sum w/o invert").
+
+    Used to measure the recomputation cost incurred by non-invertible
+    aggregations whose invert would *always* change the aggregate
+    (Figure 13): every record shift between count-based slices forces a
+    full recomputation of the slice aggregate.
+    """
+
+    name = "sum w/o invert"
+    invertible = False
+
+    def invert(self, partial: float, removed: float) -> float:
+        raise NotImplementedError("sum w/o invert deliberately lacks invert")
+
+
+class Count(AggregateFunction[Any, int, int]):
+    """Invertible, commutative, distributive count."""
+
+    name = "count"
+    commutative = True
+    invertible = True
+    kind = AggregationClass.DISTRIBUTIVE
+
+    def lift(self, value: Any) -> int:
+        return 1
+
+    def combine(self, left: int, right: int) -> int:
+        return left + right
+
+    def lower(self, partial: int) -> int:
+        return partial
+
+    def invert(self, partial: int, removed: int) -> int:
+        return partial - removed
+
+    def identity(self) -> int:
+        return 0
+
+    def empty_result(self) -> int:
+        return 0
+
+
+class Average(AggregateFunction[float, Tuple[float, int], float]):
+    """Algebraic average: the partial is a ``(sum, count)`` pair."""
+
+    name = "avg"
+    commutative = True
+    invertible = True
+    kind = AggregationClass.ALGEBRAIC
+
+    def lift(self, value: float) -> Tuple[float, int]:
+        return (value, 1)
+
+    def combine(self, left: Tuple[float, int], right: Tuple[float, int]) -> Tuple[float, int]:
+        return (left[0] + right[0], left[1] + right[1])
+
+    def lower(self, partial: Tuple[float, int]) -> Optional[float]:
+        total, count = partial
+        if count == 0:
+            return None
+        return total / count
+
+    def invert(self, partial: Tuple[float, int], removed: Tuple[float, int]) -> Tuple[float, int]:
+        return (partial[0] - removed[0], partial[1] - removed[1])
+
+    def identity(self) -> Tuple[float, int]:
+        return (0.0, 0)
+
+
+class Min(AggregateFunction[float, float, float]):
+    """Non-invertible, commutative, distributive minimum.
+
+    Although min has no invert, removals rarely change the aggregate:
+    the slice manager first checks whether the removed value *is* the
+    current minimum and only then recomputes (Section 6.3.2, "impact of
+    invertibility").  That check is :meth:`unaffected_by_removal`.
+    """
+
+    name = "min"
+    commutative = True
+    invertible = False
+    kind = AggregationClass.DISTRIBUTIVE
+
+    def lift(self, value: float) -> float:
+        return value
+
+    def combine(self, left: float, right: float) -> float:
+        return left if left <= right else right
+
+    def lower(self, partial: float) -> float:
+        return partial
+
+    def unaffected_by_removal(self, partial: float, removed_value: float) -> bool:
+        """True when removing ``removed_value`` cannot change ``partial``."""
+        return removed_value > partial
+
+
+class Max(AggregateFunction[float, float, float]):
+    """Non-invertible, commutative, distributive maximum."""
+
+    name = "max"
+    commutative = True
+    invertible = False
+    kind = AggregationClass.DISTRIBUTIVE
+
+    def lift(self, value: float) -> float:
+        return value
+
+    def combine(self, left: float, right: float) -> float:
+        return left if left >= right else right
+
+    def lower(self, partial: float) -> float:
+        return partial
+
+    def unaffected_by_removal(self, partial: float, removed_value: float) -> bool:
+        """True when removing ``removed_value`` cannot change ``partial``."""
+        return removed_value < partial

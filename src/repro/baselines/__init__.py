@@ -1,0 +1,31 @@
+"""The Section 3 baseline techniques, all behind the common
+:class:`~repro.core.operator_base.WindowOperator` interface.
+
+========================  =====================================  ==========
+Technique                 Class                                  Table 1 row
+========================  =====================================  ==========
+Tuple Buffer              :class:`TupleBufferOperator`           1
+Aggregate Tree (FlatFAT)  :class:`AggregateTreeOperator`         2
+Aggregate Buckets (WID)   :class:`AggregateBucketsOperator`      3
+Tuple Buckets (WID)       :class:`TupleBucketsOperator`          4
+Pairs slicing             :class:`PairsOperator`                 5 (lazy)
+Cutty slicing             :class:`CuttyOperator`                 6 (eager)
+General slicing           :class:`repro.core.GeneralSlicingOperator`  5-8
+========================  =====================================  ==========
+"""
+
+from .aggregate_tree import AggregateTreeOperator
+from .buckets import AggregateBucketsOperator, BucketsOperator, TupleBucketsOperator
+from .cutty import CuttyOperator
+from .pairs import PairsOperator
+from .tuple_buffer import TupleBufferOperator
+
+__all__ = [
+    "TupleBufferOperator",
+    "AggregateTreeOperator",
+    "BucketsOperator",
+    "AggregateBucketsOperator",
+    "TupleBucketsOperator",
+    "PairsOperator",
+    "CuttyOperator",
+]

@@ -1,0 +1,208 @@
+"""Pairs baseline (Krishnamurthy et al., SIGMOD 2006; Section 3.4).
+
+One of the first on-the-fly stream-slicing techniques.  Pairs splits
+each slide period of a periodic (tumbling/sliding) window into two
+"pair" fragments sized so that fragment edges line up with every window
+start and end; for multiple queries the composite slicing uses the
+union of all window edges.  Partial aggregates are computed per
+fragment and combined lazily when windows end.
+
+Limitations (faithful to the original): context-free periodic windows
+only, in-order streams only, partial aggregates only (no raw records,
+hence no holistic aggregations).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from ..aggregations.base import AggregationClass
+from ..core.characteristics import Query
+from ..core.operator_base import StreamOrderViolation, WindowOperator
+from ..core.types import Record, Watermark, WindowResult
+from ..windows.base import ContextClass
+from ..windows.sliding import SlidingWindow
+from ..windows.tumbling import TumblingWindow
+
+__all__ = ["PairsOperator"]
+
+
+class PairsOperator(WindowOperator):
+    """Pairs slicing: in-order, periodic context-free windows, lazy final
+    aggregation over pair fragments."""
+
+    def __init__(self, *, emit_empty: bool = False) -> None:
+        super().__init__()
+        self.emit_empty = emit_empty
+        #: Distinct aggregate functions (shared across queries) and the
+        #: per-query index into them.
+        self._functions = []
+        self._fn_of_query = []
+        #: Closed fragments: parallel arrays of (start, end, partial-per-fn).
+        self._frag_start: List[int] = []
+        self._frag_end: List[int] = []
+        self._frag_aggs: List[List[Any]] = []
+        self._open_start: Optional[int] = None
+        self._open_aggs: Optional[List[Any]] = None
+        self._next_edge: Optional[int] = None
+        self._max_ts: Optional[int] = None
+        self._prev_emit: Optional[int] = None
+
+    # ------------------------------------------------------------------
+
+    def add_query(self, window, aggregation) -> Query:
+        if not isinstance(window, (TumblingWindow, SlidingWindow)):
+            raise ValueError(
+                "Pairs supports periodic tumbling/sliding windows only; "
+                f"got {type(window).__name__}"
+            )
+        if window.context is not ContextClass.CONTEXT_FREE:
+            raise ValueError("Pairs supports context-free windows only")
+        if aggregation.kind is AggregationClass.HOLISTIC:
+            raise ValueError("Pairs stores partial aggregates only (no holistic)")
+        return super().add_query(window, aggregation)
+
+    def _on_queries_changed(self) -> None:
+        self._functions = []
+        self._fn_of_query = []
+        index_by_signature = {}
+        for query in self.queries:
+            key = query.aggregation.signature()
+            if key not in index_by_signature:
+                index_by_signature[key] = len(self._functions)
+                self._functions.append(query.aggregation)
+            self._fn_of_query.append(index_by_signature[key])
+        # Open fragment layout changed: re-home existing partials.
+        if self._open_aggs is not None and len(self._open_aggs) != len(self._functions):
+            self._open_aggs = self._open_aggs[: len(self._functions)] + [None] * max(
+                0, len(self._functions) - len(self._open_aggs)
+            )
+
+    # ------------------------------------------------------------------
+
+    def _compute_next_edge(self, ts: int) -> Optional[int]:
+        best: Optional[int] = None
+        for query in self.queries:
+            edge = query.window.get_next_edge(ts)
+            if edge is not None and (best is None or edge < best):
+                best = edge
+        return best
+
+    def _floor_edge(self, ts: int) -> int:
+        best: Optional[int] = None
+        for query in self.queries:
+            edge = query.window.get_floor_edge(ts)
+            if edge is not None and (best is None or edge > best):
+                best = edge
+        return best if best is not None else ts
+
+    def process_record(self, record: Record) -> List[WindowResult]:
+        if self._max_ts is not None and record.ts < self._max_ts:
+            raise StreamOrderViolation(
+                f"late record ts={record.ts}: Pairs is an in-order technique"
+            )
+        results: List[WindowResult] = []
+        if self._open_aggs is None:
+            self._open_start = self._floor_edge(record.ts)
+            self._open_aggs = [None] * len(self._functions)
+            self._next_edge = self._compute_next_edge(self._open_start)
+        cut = False
+        while self._next_edge is not None and record.ts >= self._next_edge:
+            cut = True
+            self._close_fragment(self._next_edge)
+            self._next_edge = self._compute_next_edge(self._next_edge)
+        for index, function in enumerate(self._functions):
+            lifted = function.lift(record.value)
+            current = self._open_aggs[index]
+            self._open_aggs[index] = (
+                lifted if current is None else function.combine(current, lifted)
+            )
+        self._max_ts = record.ts
+        if cut:
+            results.extend(self._emit(record.ts))
+            self._evict(record.ts)
+        return results
+
+    def _close_fragment(self, edge: int) -> None:
+        assert self._open_start is not None and self._open_aggs is not None
+        self._frag_start.append(self._open_start)
+        self._frag_end.append(edge)
+        self._frag_aggs.append(self._open_aggs)
+        self._open_start = edge
+        self._open_aggs = [None] * len(self._functions)
+
+    def process_watermark(self, watermark: Watermark) -> List[WindowResult]:
+        results = self._emit(watermark.ts)
+        self._evict(watermark.ts)
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, wm: int) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        if self._prev_emit is None:
+            lower = (self._frag_start[0] if self._frag_start else wm) - 1
+        else:
+            lower = self._prev_emit
+        if wm <= lower:
+            return results
+        for q_index, query in enumerate(self.queries):
+            fn_index = self._fn_of_query[q_index]
+            for start, end in query.window.trigger_windows(lower, wm):
+                partial = self._combine_range(fn_index, start, end)
+                if partial is None and not self.emit_empty:
+                    continue
+                value = query.aggregation.lower_or_default(partial)
+                results.append(WindowResult(query.query_id, start, end, value))
+        self._prev_emit = wm
+        return results
+
+    def _combine_range(self, fn_index: int, start: int, end: int) -> Any:
+        import bisect
+
+        function = self._functions[fn_index]
+        partial = None
+        lo = bisect.bisect_left(self._frag_start, start)
+        for i in range(lo, len(self._frag_start)):
+            if self._frag_start[i] >= end:
+                break
+            if self._frag_end[i] <= end:
+                piece = self._frag_aggs[i][fn_index]
+                if piece is None:
+                    continue
+                partial = piece if partial is None else function.combine(partial, piece)
+        # Include the open fragment when all its records precede the window
+        # end (its records are bounded by the last processed timestamp).
+        if (
+            self._open_start is not None
+            and self._open_aggs is not None
+            and self._open_start >= start
+            and (self._max_ts is None or self._max_ts < end)
+            and self._open_aggs[fn_index] is not None
+        ):
+            piece = self._open_aggs[fn_index]
+            partial = piece if partial is None else function.combine(partial, piece)
+        return partial
+
+    def _evict(self, wm: int) -> None:
+        horizon = wm - max(
+            (getattr(q.window, "length", 0) or 0) for q in self.queries
+        ) if self.queries else wm
+        keep = 0
+        while keep < len(self._frag_end) and self._frag_end[keep] <= horizon:
+            keep += 1
+        if keep >= 256:
+            del self._frag_start[:keep]
+            del self._frag_end[:keep]
+            del self._frag_aggs[:keep]
+
+    # ------------------------------------------------------------------
+
+    def state_objects(self) -> list:
+        return [self._frag_start, self._frag_end, self._frag_aggs]
+
+    def fragment_count(self) -> int:
+        return len(self._frag_start) + (1 if self._open_aggs is not None else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PairsOperator(fragments={self.fragment_count()}, queries={len(self.queries)})"

@@ -1,0 +1,67 @@
+"""Core of the reproduction: general stream slicing (Section 5).
+
+Public entry point: :class:`GeneralSlicingOperator`.  The submodules
+mirror the paper's architecture (Figure 7): stream slicer, slice
+manager, window manager, and the shared aggregate store, plus the
+workload characterization of Section 4.
+"""
+
+from .aggregate_store import AggregateStore, EagerAggregateStore, LazyAggregateStore
+from .characteristics import (
+    Query,
+    RemovalStrategy,
+    WorkloadCharacteristics,
+    removal_strategy,
+    requires_splits,
+    requires_tuple_storage,
+)
+from .flatfat import FlatFAT
+from .measures import (
+    AttributeMeasure,
+    CountMeasure,
+    EventTimeMeasure,
+    MeasureKind,
+    MeasureVector,
+    ProcessingTimeMeasure,
+)
+from .operator_ import GeneralSlicingOperator
+from .operator_base import StreamOrderViolation, WindowOperator
+from .slice_ import Slice
+from .slice_manager import Modification, SliceManager
+from .stream_slicer import StreamSlicer
+from .types import Punctuation, Record, StreamElement, Watermark, WindowResult, is_in_order
+from .window_manager import ManagedQuery, WindowManager
+
+__all__ = [
+    "GeneralSlicingOperator",
+    "WindowOperator",
+    "StreamOrderViolation",
+    "Query",
+    "WorkloadCharacteristics",
+    "RemovalStrategy",
+    "requires_tuple_storage",
+    "requires_splits",
+    "removal_strategy",
+    "Record",
+    "Watermark",
+    "Punctuation",
+    "StreamElement",
+    "WindowResult",
+    "is_in_order",
+    "MeasureKind",
+    "MeasureVector",
+    "EventTimeMeasure",
+    "ProcessingTimeMeasure",
+    "CountMeasure",
+    "AttributeMeasure",
+    "Slice",
+    "SliceManager",
+    "Modification",
+    "StreamSlicer",
+    "WindowManager",
+    "ManagedQuery",
+    "AggregateStore",
+    "LazyAggregateStore",
+    "EagerAggregateStore",
+    "FlatFAT",
+]

@@ -1,0 +1,231 @@
+"""The shared aggregate store: ordered slices + optional aggregate tree.
+
+The Aggregate Store (Figure 7) is the data structure shared by the
+stream slicer (creates slices), the slice manager (updates slices), and
+the window manager (computes window aggregates).
+
+Two variants correspond to the paper's lazy and eager slicing:
+
+* :class:`LazyAggregateStore` keeps only the ordered slice list; window
+  aggregates are combined on demand from the covered slices -- highest
+  throughput, latency linear in the slice count (Figure 11).
+* :class:`EagerAggregateStore` additionally maintains a
+  :class:`~repro.core.flatfat.FlatFAT` per aggregate function over the
+  slice partials, trading update work for O(log s) window queries.
+
+Slices are kept sorted by their start timestamp and never overlap, but
+gaps between slices are legal (empty stream regions get no slice).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, List, Optional, Sequence
+
+from ..aggregations.base import AggregateFunction
+from .flatfat import FlatFAT
+from .slice_ import Slice
+
+__all__ = ["AggregateStore", "LazyAggregateStore", "EagerAggregateStore"]
+
+
+class AggregateStore:
+    """Base class: an ordered, gap-tolerant collection of slices."""
+
+    def __init__(self, functions: Sequence[AggregateFunction]) -> None:
+        self.functions = list(functions)
+        self.slices: List[Slice] = []
+
+    # ------------------------------------------------------------------
+    # structure queries
+
+    def __len__(self) -> int:
+        return len(self.slices)
+
+    def __iter__(self) -> Iterator[Slice]:
+        return iter(self.slices)
+
+    @property
+    def head(self) -> Optional[Slice]:
+        """The open (most recent) slice, if any."""
+        return self.slices[-1] if self.slices else None
+
+    def find_index(self, ts: int) -> Optional[int]:
+        """Index of the slice covering ``ts``, or ``None`` (gap / before)."""
+        position = bisect.bisect_right(self.slices, ts, key=lambda s: s.start) - 1
+        if position < 0:
+            return None
+        candidate = self.slices[position]
+        return position if candidate.covers(ts) else None
+
+    def find_slice(self, ts: int) -> Optional[Slice]:
+        """The slice covering ``ts``, or ``None``."""
+        index = self.find_index(ts)
+        return self.slices[index] if index is not None else None
+
+    def neighbors(self, ts: int) -> tuple[Optional[int], Optional[int]]:
+        """Indices of the last slice ending at/before ``ts`` and the first
+        slice starting after ``ts`` (for gap insertion)."""
+        position = bisect.bisect_right(self.slices, ts, key=lambda s: s.start)
+        before = position - 1 if position > 0 else None
+        after = position if position < len(self.slices) else None
+        return before, after
+
+    def index_of(self, slice_: Slice) -> int:
+        """Index of a slice known to be in the store."""
+        position = bisect.bisect_left(self.slices, slice_.start, key=lambda s: s.start)
+        while position < len(self.slices):
+            if self.slices[position] is slice_:
+                return position
+            position += 1
+        raise ValueError("slice not found in store")
+
+    # ------------------------------------------------------------------
+    # structural mutation (overridden by the eager variant)
+
+    def append_slice(self, slice_: Slice) -> None:
+        """Append a new head slice (the common, cheap path)."""
+        if self.slices and self.slices[-1].end is not None and slice_.start < self.slices[-1].end:
+            raise ValueError("appended slice overlaps the current head")
+        self.slices.append(slice_)
+
+    def insert_slice(self, index: int, slice_: Slice) -> None:
+        """Insert a slice at ``index`` (gap fill or split result)."""
+        self.slices.insert(index, slice_)
+
+    def remove_slice(self, index: int) -> Slice:
+        """Remove and return the slice at ``index`` (merge cleanup)."""
+        return self.slices.pop(index)
+
+    def slice_updated(self, index: int) -> None:
+        """Notification that the slice at ``index`` changed its aggregates."""
+
+    def evict_before(self, ts: int) -> int:
+        """Drop all slices that end at or before ``ts``; return the count."""
+        keep = 0
+        while keep < len(self.slices):
+            end = self.slices[keep].end
+            if end is None or end > ts:
+                break
+            keep += 1
+        if keep:
+            del self.slices[:keep]
+        return keep
+
+    # ------------------------------------------------------------------
+    # aggregate queries
+
+    def _combine_range(self, lo: int, hi: int, fn_index: int) -> Any:
+        function = self.functions[fn_index]
+        partial = None
+        for slice_ in self.slices[lo:hi]:
+            agg = slice_.aggs[fn_index]
+            if agg is None:
+                continue
+            partial = agg if partial is None else function.combine(partial, agg)
+        return partial
+
+    def range_indices(self, start: int, end: int) -> tuple[int, int]:
+        """Slice index range fully contained in time interval ``[start, end)``."""
+        lo = bisect.bisect_left(self.slices, start, key=lambda s: s.start)
+        hi = lo
+        while hi < len(self.slices):
+            slice_end = self.slices[hi].end
+            if slice_end is None or slice_end > end:
+                break
+            hi += 1
+        return lo, hi
+
+    def query_time(self, start: int, end: int, fn_index: int) -> Any:
+        """Combine all slices inside the time interval ``[start, end)``.
+
+        Assumes slice edges align with ``start``/``end`` (the slicer
+        guarantees this for registered window types).
+        """
+        lo, hi = self.range_indices(start, end)
+        return self.query_slices(lo, hi, fn_index)
+
+    def query_slices(self, lo: int, hi: int, fn_index: int) -> Any:
+        """Combine slices ``[lo, hi)`` by index -- lazy: O(hi - lo)."""
+        return self._combine_range(lo, hi, fn_index)
+
+    def count_range_indices(self, count_start: int, count_end: int) -> tuple[int, int]:
+        """Slice index range fully contained in a count interval."""
+        lo = 0
+        while lo < len(self.slices):
+            cs = self.slices[lo].count_start
+            if cs is not None and cs >= count_start:
+                break
+            lo += 1
+        hi = lo
+        while hi < len(self.slices):
+            ce = self.slices[hi].count_end
+            if ce is None or ce > count_end:
+                break
+            hi += 1
+        return lo, hi
+
+    def query_count(self, count_start: int, count_end: int, fn_index: int) -> Any:
+        """Combine all slices inside the count interval ``[start, end)``."""
+        lo, hi = self.count_range_indices(count_start, count_end)
+        return self.query_slices(lo, hi, fn_index)
+
+    def total_records(self) -> int:
+        """Total number of records across all slices."""
+        return sum(slice_.record_count for slice_ in self.slices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(slices={len(self.slices)})"
+
+
+class LazyAggregateStore(AggregateStore):
+    """Slice list only; window aggregates combined on demand (lazy slicing)."""
+
+
+class EagerAggregateStore(AggregateStore):
+    """Slice list plus a FlatFAT per function over slice partials.
+
+    Structural changes (insert/remove/split/merge) rebuild the affected
+    trees; in-place aggregate updates repair one root path per tree.
+    The trees are small -- one leaf per *slice*, not per record -- which
+    is why eager slicing rarely suffers from out-of-order input
+    (Section 6.2.2).
+    """
+
+    def __init__(self, functions: Sequence[AggregateFunction]) -> None:
+        super().__init__(functions)
+        self.trees: List[FlatFAT] = [FlatFAT(fn.combine) for fn in self.functions]
+
+    def append_slice(self, slice_: Slice) -> None:
+        super().append_slice(slice_)
+        for fn_index, tree in enumerate(self.trees):
+            tree.append(slice_.aggs[fn_index])
+
+    def insert_slice(self, index: int, slice_: Slice) -> None:
+        super().insert_slice(index, slice_)
+        for fn_index, tree in enumerate(self.trees):
+            tree.insert(index, slice_.aggs[fn_index])
+
+    def remove_slice(self, index: int) -> Slice:
+        removed = super().remove_slice(index)
+        for tree in self.trees:
+            tree.remove(index)
+        return removed
+
+    def slice_updated(self, index: int) -> None:
+        slice_ = self.slices[index]
+        for fn_index, tree in enumerate(self.trees):
+            tree.update(index, slice_.aggs[fn_index])
+
+    def evict_before(self, ts: int) -> int:
+        evicted = super().evict_before(ts)
+        if evicted:
+            for tree in self.trees:
+                tree.remove_front(evicted)
+        return evicted
+
+    def query_slices(self, lo: int, hi: int, fn_index: int) -> Any:
+        """Combine slices ``[lo, hi)`` via the aggregate tree: O(log s)."""
+        if lo >= hi:
+            return None
+        return self.trees[fn_index].query(lo, hi)

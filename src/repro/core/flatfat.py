@@ -1,0 +1,206 @@
+"""FlatFAT: a flat fixed-size binary aggregation tree.
+
+Reimplementation of the aggregate-tree data structure of Tangwongsan et
+al. (PVLDB 2015), which the paper uses twice:
+
+* as the **Aggregate Tree** baseline (Section 3.2) with individual
+  records as leaves, and
+* inside **eager slicing** (Section 3.4) with *slices* as leaves, which
+  keeps the tree tiny and makes out-of-order updates cheap.
+
+The tree is stored as a flat array of ``2 * capacity`` partial
+aggregates: leaves occupy ``arr[capacity + i]``, inner node ``k`` holds
+``combine(arr[2k], arr[2k+1])``.  Empty positions hold ``None`` and are
+skipped by the combiner, so the structure needs no identity element and
+supports non-commutative functions (range queries accumulate strictly
+left-to-right).
+
+Complexities: point update O(log n); append amortized O(log n) (array
+doubling); range query O(log n); middle insert/remove O(n) (leaf shift
+plus subtree recomputation -- exactly the cost that makes aggregate
+trees collapse under out-of-order input in Figure 9).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+P = TypeVar("P")
+
+__all__ = ["FlatFAT"]
+
+
+class FlatFAT(Generic[P]):
+    """Flat binary aggregation tree over an ordered sequence of partials."""
+
+    __slots__ = ("_combine", "_capacity", "_size", "_arr")
+
+    def __init__(
+        self,
+        combine: Callable[[P, P], P],
+        leaves: Optional[Sequence[Optional[P]]] = None,
+    ) -> None:
+        self._combine = combine
+        initial = list(leaves) if leaves else []
+        self._capacity = self._pow2_at_least(max(1, len(initial)))
+        self._size = len(initial)
+        self._arr: List[Optional[P]] = [None] * (2 * self._capacity)
+        self._arr[self._capacity : self._capacity + self._size] = initial
+        self._rebuild_all()
+
+    # ------------------------------------------------------------------
+    # internal helpers
+
+    @staticmethod
+    def _pow2_at_least(n: int) -> int:
+        capacity = 1
+        while capacity < n:
+            capacity *= 2
+        return capacity
+
+    def _merge(self, left: Optional[P], right: Optional[P]) -> Optional[P]:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return self._combine(left, right)
+
+    def _rebuild_all(self) -> None:
+        arr = self._arr
+        for node in range(self._capacity - 1, 0, -1):
+            arr[node] = self._merge(arr[2 * node], arr[2 * node + 1])
+
+    def _update_path(self, leaf_index: int) -> None:
+        node = (self._capacity + leaf_index) // 2
+        arr = self._arr
+        while node >= 1:
+            arr[node] = self._merge(arr[2 * node], arr[2 * node + 1])
+            node //= 2
+
+    def _grow(self, minimum: int) -> None:
+        new_capacity = self._pow2_at_least(minimum)
+        leaves = self._arr[self._capacity : self._capacity + self._size]
+        self._capacity = new_capacity
+        self._arr = [None] * (2 * new_capacity)
+        self._arr[new_capacity : new_capacity + len(leaves)] = leaves
+        self._rebuild_all()
+
+    # ------------------------------------------------------------------
+    # public API
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        """Current leaf capacity (a power of two)."""
+        return self._capacity
+
+    def leaf(self, index: int) -> Optional[P]:
+        """Return the partial aggregate stored at leaf ``index``."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"leaf index {index} out of range (size {self._size})")
+        return self._arr[self._capacity + index]
+
+    def leaves(self) -> List[Optional[P]]:
+        """A copy of all leaf partials in order."""
+        return self._arr[self._capacity : self._capacity + self._size]
+
+    def update(self, index: int, partial: Optional[P]) -> None:
+        """Replace leaf ``index`` and repair the path to the root: O(log n)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"leaf index {index} out of range (size {self._size})")
+        self._arr[self._capacity + index] = partial
+        self._update_path(index)
+
+    def append(self, partial: Optional[P]) -> None:
+        """Append a leaf at the end: amortized O(log n)."""
+        if self._size == self._capacity:
+            self._grow(self._size + 1)
+        self._arr[self._capacity + self._size] = partial
+        self._size += 1
+        self._update_path(self._size - 1)
+
+    def insert(self, index: int, partial: Optional[P]) -> None:
+        """Insert a leaf in the middle: O(n) (leaf shift + rebuild).
+
+        This models the expensive out-of-order leaf insert (with the
+        associated "rebalancing") of aggregate trees on records.
+        """
+        if not 0 <= index <= self._size:
+            raise IndexError(f"insert index {index} out of range (size {self._size})")
+        if index == self._size:
+            self.append(partial)
+            return
+        leaves = self._arr[self._capacity : self._capacity + self._size]
+        leaves.insert(index, partial)
+        if len(leaves) > self._capacity:
+            self._capacity = self._pow2_at_least(len(leaves))
+            self._arr = [None] * (2 * self._capacity)
+        else:
+            for i in range(self._capacity, 2 * self._capacity):
+                self._arr[i] = None
+        self._size = len(leaves)
+        self._arr[self._capacity : self._capacity + self._size] = leaves
+        self._rebuild_all()
+
+    def remove(self, index: int) -> Optional[P]:
+        """Remove the leaf at ``index``: O(n)."""
+        if not 0 <= index < self._size:
+            raise IndexError(f"leaf index {index} out of range (size {self._size})")
+        leaves = self._arr[self._capacity : self._capacity + self._size]
+        removed = leaves.pop(index)
+        for i in range(self._capacity, 2 * self._capacity):
+            self._arr[i] = None
+        self._size = len(leaves)
+        self._arr[self._capacity : self._capacity + self._size] = leaves
+        self._rebuild_all()
+        return removed
+
+    def remove_front(self, count: int) -> None:
+        """Drop the first ``count`` leaves (watermark eviction): O(n)."""
+        if count <= 0:
+            return
+        if count > self._size:
+            raise IndexError(f"cannot remove {count} of {self._size} leaves")
+        leaves = self._arr[self._capacity + count : self._capacity + self._size]
+        for i in range(self._capacity, 2 * self._capacity):
+            self._arr[i] = None
+        self._size = len(leaves)
+        self._arr[self._capacity : self._capacity + self._size] = leaves
+        self._rebuild_all()
+
+    def query(self, lo: int, hi: int) -> Optional[P]:
+        """Combine leaves ``[lo, hi)`` left-to-right: O(log n).
+
+        Returns ``None`` when the range is empty or contains only empty
+        leaves.  Order is preserved, so non-commutative combiners work.
+        """
+        if lo < 0 or hi > self._size:
+            raise IndexError(f"query range [{lo}, {hi}) out of bounds (size {self._size})")
+        if lo >= hi:
+            return None
+        arr = self._arr
+        left_acc: Optional[P] = None
+        right_acc: Optional[P] = None
+        lo += self._capacity
+        hi += self._capacity
+        while lo < hi:
+            if lo & 1:
+                left_acc = self._merge(left_acc, arr[lo])
+                lo += 1
+            if hi & 1:
+                hi -= 1
+                right_acc = self._merge(arr[hi], right_acc)
+            lo //= 2
+            hi //= 2
+        return self._merge(left_acc, right_acc)
+
+    def root(self) -> Optional[P]:
+        """The aggregate over all leaves."""
+        if self._size == 0:
+            return None
+        return self.query(0, self._size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FlatFAT(size={self._size}, capacity={self._capacity})"

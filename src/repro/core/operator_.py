@@ -1,0 +1,446 @@
+"""General stream slicing -- the paper's core contribution (Section 5).
+
+:class:`GeneralSlicingOperator` is the drop-in window operator that
+assembles the slicing pipeline of Figure 7 (Stream Slicer → Slice
+Manager → Window Manager over a shared Aggregate Store) and adapts to
+the workload characteristics of Section 4 via the Figure 4-6 decision
+logic:
+
+* records are retained only when the workload requires it;
+* the aggregate store is lazy (slice list) or eager (FlatFAT over
+  slices), selectable via ``eager=``;
+* queries can be added and removed at runtime; characteristics are
+  re-derived on every change (never on data properties);
+* all queries share one slice chain per windowing measure.  Time-based
+  and count-based queries use separate chains because out-of-order
+  count shifts move records across *count* boundaries, which must not
+  disturb time-aligned partials (this replaces the paper's
+  vector-timestamp slicing with an equivalent per-dimension chain; see
+  DESIGN.md).
+
+The operator understands in-order and out-of-order streams.  On
+in-order streams every record doubles as a watermark and windows are
+emitted immediately; on out-of-order streams, emission follows explicit
+watermarks and late records within the allowed lateness yield update
+results.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..aggregations.base import AggregateFunction
+from ..windows.base import WindowEdges, WindowType
+from ..windows.multimeasure import LastNEveryWindow
+from ..windows.punctuation import PunctuationWindow
+from ..windows.session import SessionWindow
+from .aggregate_store import AggregateStore, EagerAggregateStore, LazyAggregateStore
+from .characteristics import Query, WorkloadCharacteristics
+from .measures import MeasureKind
+from .operator_base import StreamOrderViolation, WindowOperator
+from .slice_manager import Modification, SliceManager
+from .stream_slicer import StreamSlicer
+from .types import Punctuation, Record, Watermark, WindowResult
+from .window_manager import ManagedQuery, WindowManager
+
+__all__ = ["GeneralSlicingOperator"]
+
+
+class _Chain:
+    """One slicing pipeline serving all queries of a single measure."""
+
+    def __init__(
+        self,
+        queries: List[Query],
+        *,
+        measure_kind: MeasureKind,
+        in_order: bool,
+        eager: bool,
+        emit_empty: bool,
+        share_aggregates: bool = True,
+    ) -> None:
+        self.measure_kind = measure_kind
+        self.queries = queries
+        # Deduplicate aggregate functions by signature so equivalent
+        # queries share one partial per slice (the aggregate-sharing core
+        # of the paper: one ⊕ per record regardless of the query count).
+        # ``share_aggregates=False`` disables the dedup for ablations.
+        self.functions: List[AggregateFunction] = []
+        self._fn_index: Dict[tuple, int] = {}
+        self._fn_index_of_query: List[int] = []
+        for index, query in enumerate(queries):
+            key = (
+                query.aggregation.signature()
+                if share_aggregates
+                else (index, query.aggregation.signature())
+            )
+            if key not in self._fn_index:
+                self._fn_index[key] = len(self.functions)
+                self.functions.append(query.aggregation)
+            self._fn_index_of_query.append(self._fn_index[key])
+        self._share_aggregates = share_aggregates
+
+        characteristics = WorkloadCharacteristics(queries, in_order)
+        self.characteristics = characteristics
+        store_cls = EagerAggregateStore if eager else LazyAggregateStore
+        self.store: AggregateStore = store_cls(self.functions)
+        self.eager_store = eager
+
+        self._windows = [query.window for query in queries]
+        self.session_windows = [w for w in self._windows if isinstance(w, SessionWindow)]
+        session_gaps = [w.gap for w in self.session_windows]
+        track_counts = measure_kind is MeasureKind.COUNT
+
+        self.manager = SliceManager(
+            self.store,
+            store_records=characteristics.store_tuples,
+            track_counts=track_counts,
+            session_gap=min(session_gaps) if session_gaps else None,
+            floor_time_edge=self.floor_time_edge,
+            ceil_time_edge=self.ceil_time_edge,
+            edge_in_region=self.edge_in_region,
+            is_count_edge=self.is_count_edge,
+            on_modified=self._record_modification,
+        )
+        self.edges_move = bool(session_gaps) or any(
+            isinstance(w, PunctuationWindow) for w in self._windows
+        )
+        self.slicer = StreamSlicer(
+            self.store,
+            next_time_edge=self.next_time_edge,
+            floor_time_edge=self.floor_time_edge,
+            next_count_edge=self.next_count_edge if track_counts else None,
+            store_records=characteristics.store_tuples,
+            track_counts=track_counts,
+            edges_move=self.edges_move,
+        )
+        self.window_manager = WindowManager(self.store, self.manager, emit_empty=emit_empty)
+        for query_pos, query in enumerate(queries):
+            self.window_manager.add_query(
+                ManagedQuery(
+                    query.query_id,
+                    query.window,
+                    query.aggregation,
+                    self._fn_index_of_query[query_pos],
+                )
+            )
+        self._pending_modifications: List[Modification] = []
+
+    # ------------------------------------------------------------------
+    # edge callbacks (aggregate over all windows of this chain)
+
+    def _time_edge_windows(self) -> List[WindowType]:
+        if self.measure_kind is MeasureKind.TIME:
+            return self._windows
+        # Count chains cut at the trigger (time) edges of FCA windows only.
+        return [w for w in self._windows if isinstance(w, LastNEveryWindow)]
+
+    def _count_edge_windows(self) -> List[WindowType]:
+        return [
+            w
+            for w in self._windows
+            if w.measure_kind is MeasureKind.COUNT and not isinstance(w, LastNEveryWindow)
+        ]
+
+    def next_time_edge(self, ts: int) -> Optional[int]:
+        best: Optional[int] = None
+        for window in self._time_edge_windows():
+            edge = window.get_next_edge(ts)
+            if edge is not None and (best is None or edge < best):
+                best = edge
+        return best
+
+    def floor_time_edge(self, ts: int) -> Optional[int]:
+        best: Optional[int] = None
+        for window in self._time_edge_windows():
+            edge = window.get_floor_edge(ts)
+            if edge is not None and (best is None or edge > best):
+                best = edge
+        return best
+
+    def ceil_time_edge(self, ts: int) -> Optional[int]:
+        return self.next_time_edge(ts)
+
+    def next_count_edge(self, count: int) -> Optional[int]:
+        best: Optional[int] = None
+        for window in self._count_edge_windows():
+            edge = window.get_next_edge(count)
+            if edge is not None and (best is None or edge < best):
+                best = edge
+        return best
+
+    def edge_needed(self, ts: int) -> bool:
+        return any(window.is_edge(ts) for window in self._time_edge_windows())
+
+    def edge_in_region(self, lo: int, hi: int) -> bool:
+        """Whether any window has an edge in the closed interval [lo, hi].
+
+        Session tentative edges are excluded (``get_floor_edge`` is None
+        for sessions): only fixed edges forbid slice merges.
+        """
+        for window in self._time_edge_windows():
+            floor = window.get_floor_edge(hi)
+            if floor is not None and floor >= lo:
+                return True
+        return False
+
+    def is_count_edge(self, count: int) -> bool:
+        return any(window.is_edge(count) for window in self._count_edge_windows())
+
+    def _record_modification(self, modification: Modification) -> None:
+        self._pending_modifications.append(modification)
+
+    def drain_modifications(self) -> List[Modification]:
+        """Take and clear the modifications recorded since the last drain."""
+        pending, self._pending_modifications = self._pending_modifications, []
+        return pending
+
+    # ------------------------------------------------------------------
+
+    def max_window_extent(self) -> int:
+        """Upper bound on how far back a window can reach (for eviction)."""
+        extent = 0
+        for window in self._windows:
+            length = getattr(window, "length", None)
+            if length is not None:
+                extent = max(extent, length)
+            gap = getattr(window, "gap", None)
+            if gap is not None:
+                extent = max(extent, gap)
+            count = getattr(window, "count", None)
+            if count is not None:
+                extent = max(extent, count)
+        return extent
+
+
+class GeneralSlicingOperator(WindowOperator):
+    """General stream slicing window operator (lazy or eager).
+
+    Parameters
+    ----------
+    stream_in_order:
+        Declare the input stream as guaranteed in-order.  In-order
+        operators emit windows immediately (no watermarks needed) and
+        raise :class:`StreamOrderViolation` on a late record.
+    eager:
+        Maintain a FlatFAT over slice partials (eager slicing): lower
+        output latency, slightly lower throughput (Figure 11 vs 8/9).
+    allowed_lateness:
+        How long after the watermark late records still produce update
+        results.  Records later than this are dropped.
+    emit_empty:
+        Emit results for windows containing no records (off by default,
+        matching Flink's behaviour).
+    """
+
+    def __init__(
+        self,
+        *,
+        stream_in_order: bool = False,
+        eager: bool = False,
+        allowed_lateness: int = 0,
+        emit_empty: bool = False,
+        timestamp_of: Optional[Callable[[Record], int]] = None,
+        share_aggregates: bool = True,
+    ) -> None:
+        super().__init__()
+        self.stream_in_order = stream_in_order
+        self.eager = eager
+        self.allowed_lateness = allowed_lateness
+        self.emit_empty = emit_empty
+        #: Ablation switch: when False, every query keeps its own partial
+        #: per slice instead of sharing by aggregation signature.
+        self.share_aggregates = share_aggregates
+        #: Optional arbitrary-advancing-measure extractor (Section 4.3):
+        #: when set, records are re-timestamped with this measure before
+        #: slicing, so windows are defined on kilometres, transaction
+        #: counters, invoice numbers, ... instead of event-time.
+        self._timestamp_of = timestamp_of
+        self._chains: Dict[MeasureKind, _Chain] = {}
+        self._chain_list: tuple = ()
+        self._max_ts: Optional[int] = None
+        self._watermark: Optional[int] = None
+        self._arrived = 0
+        self._dropped_late = 0
+
+    # ------------------------------------------------------------------
+    # adaptivity (Section 5: re-derive characteristics on query changes)
+
+    def _on_queries_changed(self) -> None:
+        grouped: Dict[MeasureKind, List[Query]] = {}
+        for query in self.queries:
+            grouped.setdefault(query.window.measure_kind, []).append(query)
+        rebuilt: Dict[MeasureKind, _Chain] = {}
+        for kind, queries in grouped.items():
+            existing = self._chains.get(kind)
+            if existing is not None and [q.query_id for q in existing.queries] == [
+                q.query_id for q in queries
+            ]:
+                rebuilt[kind] = existing
+                continue
+            rebuilt[kind] = _Chain(
+                queries,
+                measure_kind=kind,
+                in_order=self.stream_in_order,
+                eager=self.eager,
+                emit_empty=self.emit_empty,
+                share_aggregates=self.share_aggregates,
+            )
+        self._chains = rebuilt
+        self._chain_list = tuple(rebuilt.values())
+
+    @property
+    def characteristics(self) -> Dict[MeasureKind, WorkloadCharacteristics]:
+        """Per-chain workload characteristics (for introspection/tests)."""
+        return {kind: chain.characteristics for kind, chain in self._chains.items()}
+
+    @property
+    def stores_records(self) -> bool:
+        """Whether any chain currently retains raw records."""
+        return any(chain.characteristics.store_tuples for chain in self._chains.values())
+
+    # ------------------------------------------------------------------
+    # record processing
+
+    def process_record(self, record: Record) -> List[WindowResult]:
+        if self._timestamp_of is not None:
+            record = Record(self._timestamp_of(record), record.value, record.key)
+        results: List[WindowResult] = []
+        in_order = self._max_ts is None or record.ts >= self._max_ts
+        if not in_order and self.stream_in_order:
+            raise StreamOrderViolation(
+                f"record at ts={record.ts} arrived after ts={self._max_ts} "
+                "on an operator declared in-order"
+            )
+        if not in_order and self._watermark is not None:
+            if record.ts < self._watermark - self.allowed_lateness:
+                self._dropped_late += 1
+                return results  # beyond the allowed lateness: dropped
+
+        count_position = self._arrived
+        self._arrived += 1
+
+        emitted_progress = False
+        for chain in self._chain_list:
+            if in_order:
+                slicer = chain.slicer
+                head = slicer.ensure_open_slice(record.ts, count_position)
+                # Inlined slice-manager update: one incremental ⊕ per
+                # distinct function (the per-record hot path).
+                head.add_inorder(record, chain.functions)
+                if chain.eager_store:
+                    chain.store.slice_updated(len(chain.store.slices) - 1)
+                if chain.session_windows:
+                    for session in chain.session_windows:
+                        session.observe(record.ts)
+                    slicer.after_record(record.ts)
+                elif chain.edges_move:
+                    slicer.after_record(record.ts)
+                if slicer.cut_performed:
+                    emitted_progress = True
+            else:
+                chain.manager.add_out_of_order(record)
+                for modification in chain.drain_modifications():
+                    results.extend(chain.window_manager.on_modification(modification))
+
+        if in_order:
+            self._max_ts = record.ts
+            if self.stream_in_order and emitted_progress:
+                # Every record acts as a watermark on in-order streams.
+                results.extend(self._advance_all(record.ts))
+        return results
+
+    # ------------------------------------------------------------------
+    # watermarks and punctuations
+
+    def process_watermark(self, watermark: Watermark) -> List[WindowResult]:
+        if self._watermark is not None and watermark.ts <= self._watermark:
+            return []
+        self._watermark = watermark.ts
+        results = self._advance_all(watermark.ts)
+        self._evict(watermark.ts)
+        return results
+
+    def _advance_all(self, wm: int) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        for chain in self._chain_list:
+            results.extend(chain.window_manager.advance(wm))
+        return results
+
+    def process_punctuation(self, punctuation: Punctuation) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        # A punctuation marks a boundary *before* the records at its
+        # timestamp, so one arriving at or behind the newest record is
+        # late: it must split already-created slices.
+        late = self._max_ts is not None and punctuation.ts <= self._max_ts
+        if late and self.stream_in_order:
+            raise StreamOrderViolation(
+                f"punctuation at ts={punctuation.ts} arrived at/behind the newest "
+                f"record (ts={self._max_ts}); in-order streams require strictly "
+                "leading punctuations"
+            )
+        for chain in self._chains.values():
+            for window in chain._windows:
+                if not isinstance(window, PunctuationWindow):
+                    continue
+                edges = WindowEdges()
+                window.on_punctuation(edges, punctuation)
+                if not edges:
+                    continue
+                if late:
+                    for ts in edges.added:
+                        chain.manager.split_time(ts)
+                    for modification in chain.drain_modifications():
+                        results.extend(chain.window_manager.on_modification(modification))
+                else:
+                    chain.slicer.invalidate_cache()
+        if self.stream_in_order and self._max_ts is not None:
+            results.extend(self._advance_all(self._max_ts))
+        return results
+
+    # ------------------------------------------------------------------
+    # eviction
+
+    def _evict(self, wm: int) -> None:
+        for chain in self._chains.values():
+            horizon = wm - self.allowed_lateness - chain.max_window_extent()
+            for first_ts, last_ts, lo, hi in self._open_sessions(chain, wm):
+                horizon = min(horizon, first_ts - 1)
+            evicted = chain.store.evict_before(horizon)
+            if evicted:
+                chain.window_manager.prune_emitted(horizon)
+                chain.slicer.invalidate_cache()
+
+    def _open_sessions(self, chain: _Chain, wm: int):
+        gaps = [w.gap for w in chain._windows if isinstance(w, SessionWindow)]
+        if not gaps:
+            return []
+        gap = max(gaps)
+        return [
+            session
+            for session in chain.window_manager.current_sessions(gap)
+            if session[1] + gap > wm
+        ]
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def state_objects(self) -> list:
+        return [chain.store for chain in self._chains.values()]
+
+    def total_slices(self) -> int:
+        """Total slices currently held across all chains."""
+        return sum(len(chain.store) for chain in self._chains.values())
+
+    @property
+    def dropped_late_records(self) -> int:
+        """Records dropped for exceeding the allowed lateness."""
+        return self._dropped_late
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        mode = "eager" if self.eager else "lazy"
+        order = "in-order" if self.stream_in_order else "out-of-order"
+        return (
+            f"GeneralSlicingOperator({mode}, {order}, queries={len(self.queries)}, "
+            f"slices={self.total_slices()})"
+        )

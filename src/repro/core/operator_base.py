@@ -1,0 +1,91 @@
+"""The common window-operator interface shared by all techniques.
+
+Every aggregation technique in this library -- general stream slicing
+and all Section 3 baselines -- is a *drop-in window operator*: it
+consumes stream elements one at a time and produces
+:class:`~repro.core.types.WindowResult` outputs.  Keeping the interface
+identical is what lets the benchmark harness swap techniques without
+touching the pipeline (Section 5, "general slicing replaces alternative
+operators ... without changing their input or output semantics").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..aggregations.base import AggregateFunction
+from ..windows.base import WindowType
+from .characteristics import Query
+from .types import Punctuation, Record, StreamElement, Watermark, WindowResult
+
+__all__ = ["WindowOperator", "StreamOrderViolation"]
+
+
+class StreamOrderViolation(RuntimeError):
+    """Raised when an out-of-order record hits an in-order-only operator."""
+
+
+class WindowOperator:
+    """Abstract tuple-at-a-time window aggregation operator."""
+
+    def __init__(self) -> None:
+        self._next_query_id = 0
+        self.queries: List[Query] = []
+
+    # ------------------------------------------------------------------
+    # query management
+
+    def add_query(self, window: WindowType, aggregation: AggregateFunction) -> Query:
+        """Register a query; techniques adapt their strategy if needed."""
+        query = Query(window, aggregation, query_id=self._next_query_id)
+        self._next_query_id += 1
+        self.queries.append(query)
+        self._on_queries_changed()
+        return query
+
+    def remove_query(self, query_id: int) -> None:
+        """Remove a query by id; techniques re-adapt."""
+        before = len(self.queries)
+        self.queries = [q for q in self.queries if q.query_id != query_id]
+        if len(self.queries) != before:
+            self._on_queries_changed()
+
+    def _on_queries_changed(self) -> None:
+        """Hook: recompute workload characteristics / rebuild state."""
+
+    # ------------------------------------------------------------------
+    # stream processing
+
+    def process(self, element: StreamElement) -> List[WindowResult]:
+        """Process one stream element; return any emitted window results."""
+        if isinstance(element, Record):
+            return self.process_record(element)
+        if isinstance(element, Watermark):
+            return self.process_watermark(element)
+        if isinstance(element, Punctuation):
+            return self.process_punctuation(element)
+        raise TypeError(f"unsupported stream element: {element!r}")
+
+    def process_record(self, record: Record) -> List[WindowResult]:
+        raise NotImplementedError
+
+    def process_watermark(self, watermark: Watermark) -> List[WindowResult]:
+        raise NotImplementedError
+
+    def process_punctuation(self, punctuation: Punctuation) -> List[WindowResult]:
+        """Window punctuations; techniques without FCF support ignore them."""
+        return []
+
+    def run(self, elements: Iterable[StreamElement]) -> List[WindowResult]:
+        """Convenience: process a whole stream, collecting all results."""
+        results: List[WindowResult] = []
+        for element in elements:
+            results.extend(self.process(element))
+        return results
+
+    # ------------------------------------------------------------------
+    # introspection used by the memory experiments
+
+    def state_objects(self) -> list:
+        """The operator's retained state (roots for deep size measurement)."""
+        return []

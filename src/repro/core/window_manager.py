@@ -1,0 +1,468 @@
+"""The Window Manager -- Step 3 of the slicing pipeline (Section 5.3).
+
+The window manager computes final window aggregates from slice
+aggregates.  On in-order streams every record acts as a watermark with
+the record's timestamp; on out-of-order streams, explicit watermarks
+drive emission and late records (within the allowed lateness) produce
+*update* results for windows that were already emitted.
+
+Responsibilities:
+
+* enumerate windows that ended in ``(prev_wm, curr_wm]`` for every
+  registered query and emit their aggregates (one final ``lower`` each);
+* derive session windows from slice activity metadata (``first_ts`` /
+  ``last_ts``) and emit sessions whose gap timed out before the
+  watermark;
+* resolve count-measure windows against the cumulative record counts
+  maintained on slices, splitting slices on demand for multi-measure
+  (FCA) window starts;
+* re-emit updated aggregates when the slice manager reports a
+  modification inside the already-emitted region.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..aggregations.base import AggregateFunction
+from ..windows.base import ContextClass
+from ..windows.multimeasure import LastNEveryWindow
+from ..windows.session import SessionWindow
+from .aggregate_store import AggregateStore
+from .measures import MeasureKind
+from .slice_manager import Modification, SliceManager
+from .types import WindowResult
+
+__all__ = ["WindowManager", "ManagedQuery"]
+
+
+class ManagedQuery:
+    """A query as seen by the window manager of one slicing chain."""
+
+    __slots__ = ("query_id", "window", "function", "fn_index")
+
+    def __init__(self, query_id: int, window, function: AggregateFunction, fn_index: int) -> None:
+        self.query_id = query_id
+        self.window = window
+        self.function = function
+        self.fn_index = fn_index
+
+
+class WindowManager:
+    """Final aggregation and emission for one slicing chain."""
+
+    def __init__(
+        self,
+        store: AggregateStore,
+        slice_manager: SliceManager,
+        *,
+        emit_empty: bool = False,
+    ) -> None:
+        self._store = store
+        self._manager = slice_manager
+        self._emit_empty = emit_empty
+        self._queries: List[ManagedQuery] = []
+        self._prev_wm: Optional[int] = None
+        #: Emitted (start, end) pairs per query, pruned on eviction.
+        self._emitted: Dict[int, Set[Tuple[int, int]]] = {}
+        #: Emitted high-water mark in the count domain per count query.
+        self._count_hwm: Dict[int, int] = {}
+        #: Emitted trigger edges per multi-measure query.
+        self._emitted_edges: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+
+    def add_query(self, managed: ManagedQuery) -> None:
+        self._queries.append(managed)
+        self._emitted.setdefault(managed.query_id, set())
+        if isinstance(managed.window, LastNEveryWindow):
+            self._emitted_edges.setdefault(managed.query_id, set())
+
+    def remove_query(self, query_id: int) -> None:
+        self._queries = [q for q in self._queries if q.query_id != query_id]
+        self._emitted.pop(query_id, None)
+        self._count_hwm.pop(query_id, None)
+        self._emitted_edges.pop(query_id, None)
+
+    @property
+    def queries(self) -> Sequence[ManagedQuery]:
+        return self._queries
+
+    @property
+    def watermark(self) -> Optional[int]:
+        return self._prev_wm
+
+    # ------------------------------------------------------------------
+    # emission on watermark progress
+
+    def advance(self, wm: int) -> List[WindowResult]:
+        """Emit all windows that ended at or before ``wm``."""
+        prev = self._prev_wm
+        if prev is not None and wm <= prev:
+            return []
+        results: List[WindowResult] = []
+        if prev is not None:
+            lower_bound = prev
+        else:
+            # First advance: no window ending before the first slice can
+            # contain records, so start enumerating there.
+            earliest = self._store.slices[0].start if self._store.slices else wm
+            lower_bound = min(earliest, wm) - 1
+        for managed in self._queries:
+            window = managed.window
+            if isinstance(window, SessionWindow):
+                results.extend(self._trigger_sessions(managed, wm))
+            elif isinstance(window, LastNEveryWindow):
+                results.extend(self._trigger_multimeasure(managed, lower_bound, wm))
+            elif window.measure_kind is MeasureKind.COUNT:
+                results.extend(self._trigger_count(managed, wm))
+            else:
+                results.extend(self._trigger_time(managed, lower_bound, wm))
+        self._prev_wm = wm
+        return results
+
+    def _trigger_time(self, managed: ManagedQuery, prev: int, wm: int) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        emitted = self._emitted[managed.query_id]
+        for start, end in managed.window.trigger_windows(prev, wm):
+            if (start, end) in emitted:
+                continue
+            result = self._time_window_result(managed, start, end, is_update=False)
+            if result is not None:
+                emitted.add((start, end))
+                results.append(result)
+        return results
+
+    def _time_window_result(
+        self, managed: ManagedQuery, start: int, end: int, is_update: bool
+    ) -> Optional[WindowResult]:
+        lo, hi = self._store.range_indices(start, end)
+        # The open head slice has no end yet, but the slicer guarantees it
+        # holds no record at/after the next uncut window edge, so it can be
+        # included whenever its records provably precede the window end.
+        slices = self._store.slices
+        if hi < len(slices):
+            head = slices[hi]
+            if (
+                head.end is None
+                and head.start >= start
+                and (head.last_ts is None or head.last_ts < end)
+            ):
+                hi += 1
+        partial = self._store.query_slices(lo, hi, managed.fn_index)
+        if partial is None and not self._emit_empty:
+            return None
+        value = managed.function.lower_or_default(partial)
+        return WindowResult(managed.query_id, start, end, value, is_update)
+
+    # ------------------------------------------------------------------
+    # sessions
+
+    def current_sessions(self, gap: int) -> List[Tuple[int, int, int, int]]:
+        """Group slices into sessions by activity gaps.
+
+        Returns ``(first_ts, last_ts, lo_index, hi_index)`` per session,
+        where ``[lo, hi)`` is the covered slice index range (non-empty
+        slices only at the boundaries, empties inside are skipped).
+        """
+        sessions: List[Tuple[int, int, int, int]] = []
+        current: Optional[List[int]] = None  # [first_ts, last_ts, lo, hi]
+        for index, slice_ in enumerate(self._store.slices):
+            if slice_.is_empty():
+                continue
+            assert slice_.first_ts is not None and slice_.last_ts is not None
+            if current is not None and slice_.first_ts - current[1] < gap:
+                current[1] = max(current[1], slice_.last_ts)
+                current[3] = index + 1
+            else:
+                if current is not None:
+                    sessions.append(tuple(current))  # type: ignore[arg-type]
+                current = [slice_.first_ts, slice_.last_ts, index, index + 1]
+        if current is not None:
+            sessions.append(tuple(current))  # type: ignore[arg-type]
+        return sessions
+
+    def _trigger_sessions(self, managed: ManagedQuery, wm: int) -> List[WindowResult]:
+        window: SessionWindow = managed.window
+        results: List[WindowResult] = []
+        emitted = self._emitted[managed.query_id]
+        for first_ts, last_ts, lo, hi in self.current_sessions(window.gap):
+            end = last_ts + window.gap
+            if end > wm:
+                continue  # session not yet timed out
+            if (first_ts, end) in emitted:
+                continue
+            partial = self._store.query_slices(lo, hi, managed.fn_index)
+            value = managed.function.lower_or_default(partial)
+            emitted.add((first_ts, end))
+            results.append(WindowResult(managed.query_id, first_ts, end, value))
+        return results
+
+    # ------------------------------------------------------------------
+    # count-measure windows
+
+    def completed_count(self, wm: int) -> int:
+        """Largest cumulative count whose records are all at/before ``wm``."""
+        total = 0
+        for slice_ in self._store.slices:
+            if slice_.record_count == 0:
+                continue
+            assert slice_.last_ts is not None
+            if slice_.last_ts <= wm:
+                base = slice_.count_start if slice_.count_start is not None else total
+                total = base + slice_.record_count
+            else:
+                if slice_.records is not None:
+                    base = slice_.count_start if slice_.count_start is not None else total
+                    within = bisect.bisect_right(slice_.records, wm, key=lambda r: r.ts)
+                    total = base + within
+                break
+        return total
+
+    def _trigger_count(self, managed: ManagedQuery, wm: int) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        completed = self.completed_count(wm)
+        previous = self._count_hwm.get(managed.query_id, 0)
+        if completed <= previous:
+            return results
+        for start, end in managed.window.trigger_windows(previous, completed):
+            value = self._count_window_value(managed, start, end)
+            if value is None and not self._emit_empty:
+                continue
+            results.append(WindowResult(managed.query_id, start, end, value))
+        self._count_hwm[managed.query_id] = completed
+        return results
+
+    def _count_window_value(self, managed: ManagedQuery, start: int, end: int):
+        partial = self._query_count_exact(start, end, managed.fn_index)
+        if partial is None:
+            return managed.function.empty_result() if self._emit_empty else None
+        return managed.function.lower(partial)
+
+    def _query_count_exact(self, count_start: int, count_end: int, fn_index: int):
+        """Combine the records with positions in ``[count_start, count_end)``.
+
+        Full slices contribute their precomputed partial; a partially
+        covered slice (possible only for the open head or mid-slice FCA
+        starts) contributes a fold over its stored records.
+        """
+        function = self._store.functions[fn_index]
+        partial = None
+        slices = self._store.slices
+        # Slices are ordered by cumulative count; skip straight to the
+        # first slice that can intersect the queried range.
+        lo = bisect.bisect_right(
+            slices, count_start, key=lambda s: (s.count_start or 0) + s.record_count
+        )
+        for slice_ in slices[lo:]:
+            base = slice_.count_start
+            if base is None:
+                continue
+            hi = base + slice_.record_count
+            if hi <= count_start:
+                continue
+            if base >= count_end:
+                break
+            if base >= count_start and hi <= count_end and (
+                slice_.count_end is not None or hi <= count_end
+            ):
+                piece = slice_.aggs[fn_index]
+            else:
+                if slice_.records is None:
+                    piece = slice_.aggs[fn_index]  # best effort without records
+                else:
+                    lo_off = max(0, count_start - base)
+                    hi_off = min(slice_.record_count, count_end - base)
+                    piece = None
+                    for record in slice_.records[lo_off:hi_off]:
+                        lifted = function.lift(record.value)
+                        piece = lifted if piece is None else function.combine(piece, lifted)
+            if piece is None:
+                continue
+            partial = piece if partial is None else function.combine(partial, piece)
+        return partial
+
+    # ------------------------------------------------------------------
+    # multi-measure (FCA) windows
+
+    def _cumulative_count_at(self, edge_ts: int) -> int:
+        """Number of records with event-time strictly before ``edge_ts``."""
+        total = 0
+        for slice_ in self._store.slices:
+            if slice_.end is not None and slice_.end <= edge_ts:
+                total += slice_.record_count
+            elif slice_.start < edge_ts:
+                if slice_.records is not None:
+                    total += bisect.bisect_left(slice_.records, edge_ts, key=lambda r: r.ts)
+                else:
+                    total += slice_.record_count
+            else:
+                break
+        return total
+
+    def _trigger_multimeasure(
+        self, managed: ManagedQuery, prev: int, wm: int
+    ) -> List[WindowResult]:
+        window: LastNEveryWindow = managed.window
+        results: List[WindowResult] = []
+        emitted = self._emitted_edges[managed.query_id]
+        for edge in window.time_edges_between(prev, wm):
+            if edge in emitted:
+                continue
+            cumulative = self._cumulative_count_at(edge)
+            window.record_edge_count(edge, cumulative)
+            count_range = window.window_for_edge(edge)
+            if count_range is None:
+                continue
+            start, end = count_range
+            if end <= start:
+                continue
+            # Exercise the split path for interior window starts.
+            self._manager.ensure_count_boundary(start)
+            value = self._count_window_value(managed, start, end)
+            if value is None and not self._emit_empty:
+                emitted.add(edge)
+                continue
+            emitted.add(edge)
+            results.append(WindowResult(managed.query_id, start, end, value))
+        return results
+
+    # ------------------------------------------------------------------
+    # late updates (allowed lateness)
+
+    def on_modification(self, modification: Modification) -> List[WindowResult]:
+        """Re-emit windows already triggered that the modification touches."""
+        wm = self._prev_wm
+        if wm is None or modification.ts >= wm:
+            # Every emitted window ends at or before the watermark and all
+            # its records precede it; a modification at/after the watermark
+            # cannot touch any of them (this also covers count positions:
+            # emitted count windows contain only records with ts <= wm).
+            return []
+        results: List[WindowResult] = []
+        ts = modification.ts
+        for managed in self._queries:
+            window = managed.window
+            if isinstance(window, SessionWindow):
+                results.extend(self._update_sessions(managed, ts, wm))
+            elif isinstance(window, LastNEveryWindow):
+                results.extend(self._update_multimeasure(managed, ts))
+            elif window.measure_kind is MeasureKind.COUNT:
+                if modification.count_position is not None:
+                    results.extend(
+                        self._update_count(managed, modification.count_position)
+                    )
+            else:
+                results.extend(self._update_time(managed, ts, wm))
+        return results
+
+    def _update_time(self, managed: ManagedQuery, ts: int, wm: int) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        emitted = self._emitted[managed.query_id]
+        window = managed.window
+        if window.context is ContextClass.CONTEXT_FREE:
+            candidates = list(window.assign_windows(ts))
+        else:
+            # A late edge (e.g. punctuation) changes the windows on *both*
+            # sides of the modification point: re-derive them.
+            pairs = set(window.assign_windows(ts))
+            pairs.update(window.assign_windows(ts - 1))
+            candidates = sorted(pairs)
+        context_free = window.context is ContextClass.CONTEXT_FREE
+        for start, end in candidates:
+            if end > wm:
+                continue  # not emitted yet; the regular trigger will cover it
+            overlapped: List[Tuple[int, int]] = []
+            if not context_free:
+                # Context-aware windows never overlap each other: emitted
+                # windows overlapping the re-derived one were replaced by
+                # the new edge and must be retracted.
+                overlapped = [
+                    pair
+                    for pair in emitted
+                    if pair != (start, end) and not (pair[1] <= start or pair[0] >= end)
+                ]
+                for pair in overlapped:
+                    emitted.discard(pair)
+            was_known = (start, end) in emitted or bool(overlapped) or context_free
+            result = self._time_window_result(managed, start, end, is_update=was_known)
+            if result is not None:
+                emitted.add((start, end))
+                results.append(result)
+        return results
+
+    def _update_sessions(self, managed: ManagedQuery, ts: int, wm: int) -> List[WindowResult]:
+        window: SessionWindow = managed.window
+        results: List[WindowResult] = []
+        emitted = self._emitted[managed.query_id]
+        for first_ts, last_ts, lo, hi in self.current_sessions(window.gap):
+            end = last_ts + window.gap
+            if not (first_ts - window.gap <= ts < end):
+                continue
+            if end > wm:
+                # Session now reopened/extended past the watermark: retract
+                # bookkeeping so the regular trigger re-emits it later.
+                stale = [pair for pair in emitted if pair[0] <= ts < pair[1]]
+                for pair in stale:
+                    emitted.discard(pair)
+                continue
+            overlapped = [pair for pair in emitted if not (pair[1] <= first_ts or pair[0] >= end)]
+            partial = self._store.query_slices(lo, hi, managed.fn_index)
+            value = managed.function.lower_or_default(partial)
+            is_update = bool(overlapped)
+            for pair in overlapped:
+                emitted.discard(pair)
+            emitted.add((first_ts, end))
+            results.append(
+                WindowResult(managed.query_id, first_ts, end, value, is_update=is_update)
+            )
+        return results
+
+    def _update_count(self, managed: ManagedQuery, position: int) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        hwm = self._count_hwm.get(managed.query_id, 0)
+        if position >= hwm:
+            return results
+        for start, end in managed.window.trigger_windows(position, hwm):
+            if end <= position:
+                continue
+            value = self._count_window_value(managed, start, end)
+            if value is None:
+                continue
+            results.append(WindowResult(managed.query_id, start, end, value, is_update=True))
+        # The insertion shifted counts: windows previously beyond the high
+        # water mark may now be complete; re-derive on the next watermark.
+        return results
+
+    def _update_multimeasure(self, managed: ManagedQuery, ts: int) -> List[WindowResult]:
+        window: LastNEveryWindow = managed.window
+        results: List[WindowResult] = []
+        for edge in sorted(self._emitted_edges[managed.query_id]):
+            if edge <= ts:
+                continue
+            cumulative = self._cumulative_count_at(edge)
+            if window.count_at_edge(edge) == cumulative:
+                continue
+            window.record_edge_count(edge, cumulative)
+            count_range = window.window_for_edge(edge)
+            if count_range is None:
+                continue
+            start, end = count_range
+            self._manager.ensure_count_boundary(start)
+            value = self._count_window_value(managed, start, end)
+            if value is None:
+                continue
+            results.append(WindowResult(managed.query_id, start, end, value, is_update=True))
+        return results
+
+    # ------------------------------------------------------------------
+    # housekeeping
+
+    def prune_emitted(self, horizon: int) -> None:
+        """Forget emitted windows entirely before the eviction horizon."""
+        for query_id, pairs in self._emitted.items():
+            self._emitted[query_id] = {pair for pair in pairs if pair[1] > horizon}
+        for query_id, edges in self._emitted_edges.items():
+            self._emitted_edges[query_id] = {edge for edge in edges if edge > horizon}

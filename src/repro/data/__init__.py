@@ -1,0 +1,39 @@
+"""Synthetic datasets and paper workloads.
+
+``football`` and ``machine`` replace the DEBS 2013/2012 grand-challenge
+datasets with generators matching the characteristics the experiments
+depend on (rate, session gaps, distinct-value cardinality); see
+DESIGN.md's substitution table.
+"""
+
+from .football import (
+    FOOTBALL_DISTINCT_VALUES,
+    FOOTBALL_RATE_HZ,
+    football_keyed_stream,
+    football_stream,
+)
+from .machine import MACHINE_DISTINCT_VALUES, MACHINE_RATE_HZ, machine_stream
+from .workloads import (
+    SECOND_MS,
+    constrained_stream,
+    dashboard_queries,
+    dashboard_windows,
+    m4_dashboard_queries,
+    session_query,
+)
+
+__all__ = [
+    "football_stream",
+    "football_keyed_stream",
+    "FOOTBALL_RATE_HZ",
+    "FOOTBALL_DISTINCT_VALUES",
+    "machine_stream",
+    "MACHINE_RATE_HZ",
+    "MACHINE_DISTINCT_VALUES",
+    "SECOND_MS",
+    "dashboard_windows",
+    "dashboard_queries",
+    "constrained_stream",
+    "m4_dashboard_queries",
+    "session_query",
+]

@@ -1,0 +1,53 @@
+"""Experiment harness regenerating every Section 6 table and figure.
+
+Quick use::
+
+    from repro.experiments import fig8_inorder_throughput
+    print(fig8_inorder_throughput().render())
+
+Workload sizes scale with the ``REPRO_BENCH_SCALE`` environment
+variable.  The per-experiment index lives in DESIGN.md; measured-vs-
+paper comparisons in EXPERIMENTS.md.
+"""
+
+from .figures import (
+    fig8_inorder_throughput,
+    fig9_ooo_throughput,
+    fig10_memory,
+    fig11_latency,
+    fig12_stream_order,
+    fig13_aggregations,
+    fig14_holistic,
+    fig15_split_cost,
+    fig16_measures,
+    fig17_parallel,
+    table1_memory_models,
+)
+from .harness import (
+    INORDER_ONLY_TECHNIQUES,
+    ResultTable,
+    TECHNIQUES,
+    bench_scale,
+    make_operator,
+    scaled,
+)
+
+__all__ = [
+    "fig8_inorder_throughput",
+    "fig9_ooo_throughput",
+    "fig10_memory",
+    "fig11_latency",
+    "fig12_stream_order",
+    "fig13_aggregations",
+    "fig14_holistic",
+    "fig15_split_cost",
+    "fig16_measures",
+    "fig17_parallel",
+    "table1_memory_models",
+    "ResultTable",
+    "TECHNIQUES",
+    "INORDER_ONLY_TECHNIQUES",
+    "make_operator",
+    "bench_scale",
+    "scaled",
+]

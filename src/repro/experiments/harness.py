@@ -1,0 +1,186 @@
+"""Experiment harness: technique registry and result tables.
+
+The benchmark suite regenerates every table and figure of the paper's
+Section 6.  This module provides the shared plumbing: a registry of the
+compared techniques (operator factories behind the common interface), a
+plain-text result table matching the paper's "rows/series" reporting
+style, and workload-scale configuration.
+
+Scale: the paper replays tens of millions of records on a JVM; the
+default scale here is laptop-Python sized.  Set the environment
+variable ``REPRO_BENCH_SCALE`` (float, default 1.0) to grow or shrink
+every workload proportionally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Sequence
+
+from ..baselines import (
+    AggregateBucketsOperator,
+    AggregateTreeOperator,
+    CuttyOperator,
+    PairsOperator,
+    TupleBucketsOperator,
+    TupleBufferOperator,
+)
+from ..core.operator_base import WindowOperator
+from ..core.operator_ import GeneralSlicingOperator
+
+__all__ = [
+    "bench_scale",
+    "scaled",
+    "TECHNIQUES",
+    "INORDER_ONLY_TECHNIQUES",
+    "make_operator",
+    "ResultTable",
+]
+
+
+def bench_scale() -> float:
+    """Global workload scale factor from ``REPRO_BENCH_SCALE``."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Scale a workload size by the global factor."""
+    return max(minimum, int(value * bench_scale()))
+
+
+def _lazy(*, stream_in_order: bool, allowed_lateness: int) -> WindowOperator:
+    return GeneralSlicingOperator(
+        stream_in_order=stream_in_order, eager=False, allowed_lateness=allowed_lateness
+    )
+
+
+def _eager(*, stream_in_order: bool, allowed_lateness: int) -> WindowOperator:
+    return GeneralSlicingOperator(
+        stream_in_order=stream_in_order, eager=True, allowed_lateness=allowed_lateness
+    )
+
+
+def _tuple_buffer(*, stream_in_order: bool, allowed_lateness: int) -> WindowOperator:
+    return TupleBufferOperator(
+        stream_in_order=stream_in_order, allowed_lateness=allowed_lateness
+    )
+
+
+def _aggregate_tree(*, stream_in_order: bool, allowed_lateness: int) -> WindowOperator:
+    return AggregateTreeOperator(
+        stream_in_order=stream_in_order, allowed_lateness=allowed_lateness
+    )
+
+
+def _aggregate_buckets(*, stream_in_order: bool, allowed_lateness: int) -> WindowOperator:
+    return AggregateBucketsOperator(
+        stream_in_order=stream_in_order, allowed_lateness=allowed_lateness
+    )
+
+
+def _tuple_buckets(*, stream_in_order: bool, allowed_lateness: int) -> WindowOperator:
+    return TupleBucketsOperator(
+        stream_in_order=stream_in_order, allowed_lateness=allowed_lateness
+    )
+
+
+def _pairs(*, stream_in_order: bool, allowed_lateness: int) -> WindowOperator:
+    if not stream_in_order:
+        raise ValueError("Pairs is in-order only")
+    return PairsOperator()
+
+
+def _cutty(*, stream_in_order: bool, allowed_lateness: int) -> WindowOperator:
+    if not stream_in_order:
+        raise ValueError("Cutty is in-order only")
+    return CuttyOperator()
+
+
+#: Technique name -> factory, matching the paper's figure legends.
+TECHNIQUES: Dict[str, Callable[..., WindowOperator]] = {
+    "Lazy Slicing": _lazy,
+    "Eager Slicing": _eager,
+    "Tuple Buffer": _tuple_buffer,
+    "Aggregate Tree": _aggregate_tree,
+    "Buckets": _aggregate_buckets,
+    "Tuple Buckets": _tuple_buckets,
+    "Pairs": _pairs,
+    "Cutty": _cutty,
+}
+
+#: Techniques restricted to in-order streams (skipped in ooo figures).
+INORDER_ONLY_TECHNIQUES = frozenset({"Pairs", "Cutty"})
+
+
+def make_operator(
+    name: str, *, stream_in_order: bool, allowed_lateness: int = 0
+) -> WindowOperator:
+    """Instantiate a registered technique by its figure-legend name."""
+    try:
+        factory = TECHNIQUES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown technique {name!r}; available: {sorted(TECHNIQUES)}"
+        ) from None
+    return factory(stream_in_order=stream_in_order, allowed_lateness=allowed_lateness)
+
+
+class ResultTable:
+    """Column-oriented result accumulation with paper-style printing."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[Dict[str, object]] = []
+
+    def add(self, **values: object) -> None:
+        missing = [c for c in self.columns if c not in values]
+        if missing:
+            raise ValueError(f"row missing columns: {missing}")
+        self.rows.append({column: values[column] for column in self.columns})
+
+    def column(self, name: str) -> List[object]:
+        return [row[name] for row in self.rows]
+
+    def series(self, key_column: str, value_column: str) -> Dict[object, List[object]]:
+        """Group ``value_column`` values by distinct ``key_column`` entries."""
+        grouped: Dict[object, List[object]] = {}
+        for row in self.rows:
+            grouped.setdefault(row[key_column], []).append(row[value_column])
+        return grouped
+
+    @staticmethod
+    def _format(value: object) -> str:
+        if isinstance(value, float):
+            if value >= 1000:
+                return f"{value:,.0f}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = {
+            column: max(
+                len(column), *(len(self._format(row[column])) for row in self.rows)
+            )
+            if self.rows
+            else len(column)
+            for column in self.columns
+        }
+        header = "  ".join(column.ljust(widths[column]) for column in self.columns)
+        rule = "-" * len(header)
+        lines = [self.title, rule, header, rule]
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    self._format(row[column]).ljust(widths[column])
+                    for column in self.columns
+                )
+            )
+        lines.append(rule)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,161 @@
+"""Brute-force reference semantics for window aggregation.
+
+This module is the correctness oracle of the test suite: given the
+*complete* stream up front, it computes every window's content directly
+from first principles -- no slicing, no sharing, no incremental state.
+Every operator in the library must converge to these results once all
+records and a final watermark have been processed.
+
+Window semantics implemented here (matching the paper and the
+operators):
+
+* intervals are half-open ``[start, end)``;
+* empty windows are not reported;
+* count positions are the zero-based ranks of records in event-time
+  order (ties broken by arrival order);
+* sessions are maximal groups of records with inter-record gaps
+  strictly smaller than the session gap; a session's window is
+  ``[first_ts, last_ts + gap)``;
+* a multi-measure "last n every e" window at trigger edge ``t`` covers
+  the ``n`` records (in event-time order) with event-time < ``t``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .aggregations.base import AggregateFunction
+from .core.measures import MeasureKind
+from .core.types import Punctuation, Record, StreamElement
+from .windows.base import WindowType
+from .windows.multimeasure import LastNEveryWindow
+from .windows.punctuation import PunctuationWindow
+from .windows.session import SessionWindow
+
+__all__ = ["reference_windows", "reference_results"]
+
+
+def _sorted_records(elements: Iterable[StreamElement]) -> List[Record]:
+    records = [e for e in elements if isinstance(e, Record)]
+    # Stable sort keeps arrival order among event-time ties.
+    records.sort(key=lambda record: record.ts)
+    return records
+
+
+def _fold(function: AggregateFunction, values: Sequence[Any]) -> Any:
+    partial = None
+    for value in values:
+        lifted = function.lift(value)
+        partial = lifted if partial is None else function.combine(partial, lifted)
+    return partial
+
+
+def reference_windows(
+    window: WindowType,
+    elements: Sequence[StreamElement],
+    *,
+    horizon: int | None = None,
+) -> List[Tuple[int, int, List[Record]]]:
+    """All non-empty windows of ``window`` over the full stream.
+
+    Returns ``(start, end, records)`` triples.  ``horizon`` bounds the
+    emitted window ends (defaults to max event-time + 1, i.e. a final
+    flushing watermark just past the stream).
+    """
+    records = _sorted_records(elements)
+    if not records:
+        return []
+    max_ts = records[-1].ts
+    if horizon is None:
+        horizon = max_ts + 1
+
+    if isinstance(window, SessionWindow):
+        return _session_windows(window, records, horizon)
+    if isinstance(window, LastNEveryWindow):
+        return _multimeasure_windows(window, records, horizon)
+    if isinstance(window, PunctuationWindow):
+        return _punctuation_windows(window, elements, records, horizon)
+    if window.measure_kind is MeasureKind.COUNT:
+        return _count_windows(window, records, horizon)
+    return _time_windows(window, records, horizon)
+
+
+def _time_windows(window, records: List[Record], horizon: int):
+    first_ts = records[0].ts
+    out = []
+    for start, end in window.trigger_windows(first_ts - 1, horizon):
+        content = [r for r in records if start <= r.ts < end]
+        if content:
+            out.append((start, end, content))
+    return out
+
+
+def _count_windows(window, records: List[Record], horizon: int):
+    completed = sum(1 for r in records if r.ts <= horizon)
+    out = []
+    for start, end in window.trigger_windows(0, completed):
+        content = records[start:end]
+        if content:
+            out.append((start, end, content))
+    return out
+
+
+def _session_windows(window: SessionWindow, records: List[Record], horizon: int):
+    gap = window.gap
+    out = []
+    group: List[Record] = []
+    for record in records:
+        if group and record.ts - group[-1].ts >= gap:
+            end = group[-1].ts + gap
+            if end <= horizon:
+                out.append((group[0].ts, end, group))
+            group = []
+        group.append(record)
+    if group:
+        end = group[-1].ts + gap
+        if end <= horizon:
+            out.append((group[0].ts, end, group))
+    return out
+
+
+def _multimeasure_windows(window: LastNEveryWindow, records: List[Record], horizon: int):
+    timestamps = [r.ts for r in records]
+    out = []
+    lower = records[0].ts - 1
+    for edge in window.time_edges_between(lower, horizon):
+        import bisect
+
+        cumulative = bisect.bisect_left(timestamps, edge)
+        start = max(0, cumulative - window.count)
+        content = records[start:cumulative]
+        if content:
+            out.append((start, cumulative, content))
+    return out
+
+
+def _punctuation_windows(window, elements, records: List[Record], horizon: int):
+    edges = sorted({e.ts for e in elements if isinstance(e, Punctuation)})
+    out = []
+    previous = window.origin
+    for edge in edges:
+        if previous < edge <= horizon:
+            content = [r for r in records if previous <= r.ts < edge]
+            if content:
+                out.append((previous, edge, content))
+        previous = max(previous, edge)
+    return out
+
+
+def reference_results(
+    queries: Sequence[Tuple[WindowType, AggregateFunction]],
+    elements: Sequence[StreamElement],
+    *,
+    horizon: int | None = None,
+) -> Dict[Tuple[int, int, int], Any]:
+    """Expected final ``(query_index, start, end) -> value`` mapping."""
+    expected: Dict[Tuple[int, int, int], Any] = {}
+    for index, (window, function) in enumerate(queries):
+        for start, end, content in reference_windows(window, elements, horizon=horizon):
+            partial = _fold(function, [record.value for record in content])
+            expected[(index, start, end)] = function.lower_or_default(partial)
+    return expected

@@ -1,0 +1,44 @@
+"""Runtime substrate: pipeline, sources, disorder, metrics, memory,
+and key-partitioned parallelism.
+
+This package replaces the paper's Apache Flink runtime with a pure
+Python tuple-at-a-time substrate (see DESIGN.md, substitutions table).
+"""
+
+from .checkpoint import CheckpointingOperator, restore, snapshot
+from .disorder import disorder_fraction, inject_disorder, with_watermarks
+from .memory import TABLE1_ROWS, deep_sizeof, memory_model
+from .metrics import LatencyHarness, LatencyStats, ThroughputResult, measure_throughput
+from .keyed import KeyedWindowOperator
+from .partition import ParallelResult, PartitionedExecutor, hash_partition, run_parallel
+from .pipeline import CollectSink, CountingSink, FilterOperator, MapOperator, Pipeline
+from .sources import GeneratorSource, ListSource, paced_replay
+
+__all__ = [
+    "inject_disorder",
+    "with_watermarks",
+    "disorder_fraction",
+    "deep_sizeof",
+    "memory_model",
+    "TABLE1_ROWS",
+    "measure_throughput",
+    "ThroughputResult",
+    "LatencyHarness",
+    "LatencyStats",
+    "hash_partition",
+    "PartitionedExecutor",
+    "run_parallel",
+    "ParallelResult",
+    "KeyedWindowOperator",
+    "snapshot",
+    "restore",
+    "CheckpointingOperator",
+    "Pipeline",
+    "MapOperator",
+    "FilterOperator",
+    "CollectSink",
+    "CountingSink",
+    "ListSource",
+    "GeneratorSource",
+    "paced_replay",
+]

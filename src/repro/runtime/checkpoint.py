@@ -1,0 +1,107 @@
+"""Operator state checkpointing.
+
+Every operator in this library is a plain Python object graph, so
+snapshots are a serialization away.  This module provides the minimal
+fault-tolerance story the paper leaves to the host system (Flink's
+checkpoints): capture the operator mid-stream, restore it later (or in
+another process), and resume with identical emissions.
+
+This pairs with the source's replay position: restore the operator from
+the snapshot and re-feed the elements after the snapshot point --
+standard checkpoint-and-replay semantics.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from ..core.operator_base import WindowOperator
+
+__all__ = ["snapshot", "restore", "CheckpointingOperator"]
+
+
+def snapshot(operator: WindowOperator) -> bytes:
+    """Serialize the operator's full state (queries, slices, bookkeeping)."""
+    return pickle.dumps(operator, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def restore(blob: bytes) -> WindowOperator:
+    """Rebuild an operator from a snapshot; processing can resume as if
+    uninterrupted."""
+    operator = pickle.loads(blob)
+    if not isinstance(operator, WindowOperator):
+        raise TypeError(f"snapshot does not contain a WindowOperator: {type(operator)!r}")
+    return operator
+
+
+class CheckpointingOperator(WindowOperator):
+    """Wrapper that snapshots the inner operator every N records.
+
+    The latest snapshot and the number of records processed since it are
+    exposed so a driver can implement replay-from-checkpoint recovery::
+
+        guarded = CheckpointingOperator(operator, every=10_000)
+        ...
+        recovered = restore(guarded.last_snapshot)
+        # re-feed the guarded.records_since_snapshot most recent records
+    """
+
+    def __init__(self, inner: WindowOperator, every: int = 10_000) -> None:
+        super().__init__()
+        if every <= 0:
+            raise ValueError(f"checkpoint interval must be positive, got {every}")
+        self.inner = inner
+        self.every = every
+        self.last_snapshot: bytes = snapshot(inner)
+        self.records_since_snapshot = 0
+        self.snapshots_taken = 0
+
+    def add_query(self, window, aggregation):
+        query = self.inner.add_query(window, aggregation)
+        self.last_snapshot = snapshot(self.inner)
+        self.records_since_snapshot = 0
+        return query
+
+    def remove_query(self, query_id: int) -> None:
+        self.inner.remove_query(query_id)
+        self.last_snapshot = snapshot(self.inner)
+        self.records_since_snapshot = 0
+
+    @property
+    def queries(self):  # type: ignore[override]
+        return self.inner.queries
+
+    @queries.setter
+    def queries(self, value: Any) -> None:
+        # WindowOperator.__init__ assigns an empty list; route nothing.
+        pass
+
+    def process_record(self, record):
+        results = self.inner.process_record(record)
+        self.records_since_snapshot += 1
+        if self.records_since_snapshot >= self.every:
+            self.checkpoint()
+        return results
+
+    def process_watermark(self, watermark):
+        return self.inner.process_watermark(watermark)
+
+    def process_punctuation(self, punctuation):
+        return self.inner.process_punctuation(punctuation)
+
+    def checkpoint(self) -> bytes:
+        """Take a snapshot now; returns the serialized state."""
+        self.last_snapshot = snapshot(self.inner)
+        self.records_since_snapshot = 0
+        self.snapshots_taken += 1
+        return self.last_snapshot
+
+    def state_objects(self) -> list:
+        return self.inner.state_objects()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"CheckpointingOperator(every={self.every}, "
+            f"snapshots={self.snapshots_taken}, inner={self.inner!r})"
+        )

@@ -1,0 +1,108 @@
+"""Out-of-order stream simulation (Section 6.1 workload knobs).
+
+The paper's workloads add a configurable *fraction* of out-of-order
+records with *uniformly random delays* in a configurable range
+(e.g. "20 % out-of-order tuples with random delays between 0 and 2
+seconds").  :func:`inject_disorder` reproduces that: selected records
+are deferred by a random delay in arrival order while their event
+timestamps stay untouched, so downstream operators see them late.
+
+Watermarks are generated to trail the maximum emitted event-time by the
+maximum possible delay, mirroring a bounded-disorder watermark
+assigner.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from ..core.types import Record, StreamElement, Watermark
+
+__all__ = ["inject_disorder", "with_watermarks", "disorder_fraction"]
+
+
+def inject_disorder(
+    records: Iterable[Record],
+    fraction: float,
+    max_delay: int,
+    *,
+    min_delay: int = 0,
+    seed: int = 7,
+) -> List[Record]:
+    """Delay a ``fraction`` of records by uniform delays in event-time units.
+
+    A selected record with event-time ``t`` is re-inserted at the stream
+    position where records with event-time ``t + delay`` sit, emulating
+    a transmission delay of ``delay`` time units.  Returns the new
+    arrival order (event-times unchanged).
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if max_delay < min_delay:
+        raise ValueError("max_delay must be >= min_delay")
+    rng = random.Random(seed)
+    inbox: List[Record] = list(records)
+    delayed: List[Tuple[int, int, Record]] = []  # (due_ts, seq, record)
+    output: List[Record] = []
+    seq = 0
+    for record in inbox:
+        # Release previously delayed records whose due time passed.
+        ready = [entry for entry in delayed if entry[0] <= record.ts]
+        for entry in sorted(ready):
+            output.append(entry[2])
+            delayed.remove(entry)
+        if fraction > 0 and rng.random() < fraction:
+            delay = rng.randint(min_delay, max_delay)
+            if delay > 0:
+                delayed.append((record.ts + delay, seq, record))
+                seq += 1
+                continue
+        output.append(record)
+    for entry in sorted(delayed):
+        output.append(entry[2])
+    return output
+
+
+def with_watermarks(
+    records: Iterable[Record],
+    *,
+    interval: int,
+    max_delay: int = 0,
+    final: bool = True,
+) -> Iterator[StreamElement]:
+    """Interleave periodic watermarks trailing event-time by ``max_delay``.
+
+    A watermark ``W(t)`` promises no future record with ``ts < t``; with
+    bounded disorder of at most ``max_delay``, the safe watermark is
+    ``max_emitted_ts - max_delay``.  One watermark is emitted whenever
+    the watermark position advances by at least ``interval``.
+    """
+    if interval <= 0:
+        raise ValueError(f"watermark interval must be positive, got {interval}")
+    max_ts: Optional[int] = None
+    last_wm: Optional[int] = None
+    for record in records:
+        yield record
+        if max_ts is None or record.ts > max_ts:
+            max_ts = record.ts
+        wm = max_ts - max_delay
+        if last_wm is None or wm >= last_wm + interval:
+            yield Watermark(wm)
+            last_wm = wm
+    if final and max_ts is not None:
+        yield Watermark(max_ts + max_delay + 1)
+
+
+def disorder_fraction(records: Iterable[Record]) -> float:
+    """Fraction of records arriving out-of-order (diagnostic helper)."""
+    total = 0
+    late = 0
+    max_ts: Optional[int] = None
+    for record in records:
+        total += 1
+        if max_ts is not None and record.ts < max_ts:
+            late += 1
+        if max_ts is None or record.ts > max_ts:
+            max_ts = record.ts
+    return late / total if total else 0.0

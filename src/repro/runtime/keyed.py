@@ -1,0 +1,80 @@
+"""Keyed window aggregation: one operator instance per record key.
+
+Key partitioning is the paper's parallelization unit (Section 5.3);
+within one task, systems like Flink keep independent window state per
+key.  :class:`KeyedWindowOperator` reproduces that: records route to a
+per-key operator built by a factory, watermarks and punctuations are
+broadcast to every key, and emitted results are tagged with their key.
+
+The wrapper is itself a :class:`~repro.core.operator_base.WindowOperator`,
+so keyed aggregation composes with the pipeline, metrics, and the
+process-parallel executor unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..core.operator_base import WindowOperator
+from ..core.types import Punctuation, Record, Watermark, WindowResult
+
+__all__ = ["KeyedWindowOperator"]
+
+
+class KeyedWindowOperator(WindowOperator):
+    """Route records to per-key operator instances (lazy creation)."""
+
+    def __init__(self, operator_factory: Callable[[], WindowOperator]) -> None:
+        super().__init__()
+        self._factory = operator_factory
+        self._by_key: Dict[Any, WindowOperator] = {}
+
+    # ------------------------------------------------------------------
+
+    def operator_for(self, key: Any) -> WindowOperator:
+        """The per-key operator, created on first use."""
+        operator = self._by_key.get(key)
+        if operator is None:
+            operator = self._factory()
+            self._by_key[key] = operator
+        return operator
+
+    @property
+    def keys(self) -> List[Any]:
+        """Keys with materialized state."""
+        return list(self._by_key)
+
+    # ------------------------------------------------------------------
+
+    def _tag(self, results: List[WindowResult], key: Any) -> List[WindowResult]:
+        for result in results:
+            result.key = key
+        return results
+
+    def process_record(self, record: Record) -> List[WindowResult]:
+        key = record.key
+        operator = self.operator_for(key)
+        return self._tag(operator.process_record(record), key)
+
+    def process_watermark(self, watermark: Watermark) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        for key, operator in self._by_key.items():
+            results.extend(self._tag(operator.process_watermark(watermark), key))
+        return results
+
+    def process_punctuation(self, punctuation: Punctuation) -> List[WindowResult]:
+        results: List[WindowResult] = []
+        for key, operator in self._by_key.items():
+            results.extend(self._tag(operator.process_punctuation(punctuation), key))
+        return results
+
+    # ------------------------------------------------------------------
+
+    def state_objects(self) -> list:
+        state: list = []
+        for operator in self._by_key.values():
+            state.extend(operator.state_objects())
+        return state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KeyedWindowOperator(keys={len(self._by_key)})"

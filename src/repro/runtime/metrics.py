@@ -1,0 +1,149 @@
+"""Throughput and latency measurement harnesses (Section 6.1, Metrics).
+
+* :func:`measure_throughput` follows the Yahoo Streaming Benchmark
+  methodology: replay a pre-materialized stream through the operator
+  and report sustained records/second (windowing is the bottleneck;
+  results are drained into a no-op sink).
+* :class:`LatencyHarness` mirrors the JMH setup: warmup iterations,
+  then repeated steady-state invocations timed with a nanosecond
+  monotonic clock, reporting percentile statistics.
+"""
+
+from __future__ import annotations
+
+import gc
+import statistics
+import time
+from typing import Any, Callable, Dict, List, Sequence
+
+from ..core.operator_base import WindowOperator
+from ..core.types import StreamElement
+
+__all__ = ["ThroughputResult", "measure_throughput", "LatencyHarness", "LatencyStats"]
+
+
+class ThroughputResult:
+    """Outcome of a throughput run."""
+
+    __slots__ = ("records", "seconds", "results_emitted")
+
+    def __init__(self, records: int, seconds: float, results_emitted: int) -> None:
+        self.records = records
+        self.seconds = seconds
+        self.results_emitted = results_emitted
+
+    @property
+    def records_per_second(self) -> float:
+        return self.records / self.seconds if self.seconds > 0 else float("inf")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ThroughputResult({self.records_per_second:,.0f} records/s over "
+            f"{self.records} records, {self.results_emitted} windows)"
+        )
+
+
+def measure_throughput(
+    operator: WindowOperator,
+    elements: Sequence[StreamElement],
+    *,
+    record_count: int | None = None,
+    disable_gc: bool = True,
+) -> ThroughputResult:
+    """Replay ``elements`` through ``operator`` and measure records/second.
+
+    ``elements`` must be pre-materialized (a list) so generation cost
+    stays outside the measurement, matching the paper's setup where
+    windowing is the bottleneck.
+    """
+    from ..core.types import Record
+
+    if record_count is None:
+        record_count = sum(1 for e in elements if isinstance(e, Record))
+    emitted = 0
+    was_enabled = gc.isenabled()
+    if disable_gc:
+        gc.collect()
+        gc.disable()
+    try:
+        process = operator.process
+        start = time.perf_counter()
+        for element in elements:
+            out = process(element)
+            if out:
+                emitted += len(out)
+        elapsed = time.perf_counter() - start
+    finally:
+        if disable_gc and was_enabled:
+            gc.enable()
+    return ThroughputResult(record_count, elapsed, emitted)
+
+
+class LatencyStats:
+    """Percentile summary of a latency measurement (nanoseconds)."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: List[int]) -> None:
+        if not samples:
+            raise ValueError("no latency samples collected")
+        self.samples = sorted(samples)
+
+    def percentile(self, q: float) -> int:
+        """Nearest-rank percentile of the samples (q in [0, 1])."""
+        index = min(len(self.samples) - 1, max(0, int(q * len(self.samples))))
+        return self.samples[index]
+
+    @property
+    def p50(self) -> int:
+        return self.percentile(0.50)
+
+    @property
+    def p99(self) -> int:
+        return self.percentile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def minimum(self) -> int:
+        return self.samples[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LatencyStats(p50={self.p50}ns, p99={self.p99}ns, "
+            f"mean={self.mean:.0f}ns, n={len(self.samples)})"
+        )
+
+
+class LatencyHarness:
+    """JMH-style steady-state latency measurement.
+
+    Example::
+
+        harness = LatencyHarness(warmup=100, iterations=1000)
+        stats = harness.measure(lambda: store.query_time(0, 1000, 0))
+    """
+
+    def __init__(self, warmup: int = 50, iterations: int = 500) -> None:
+        if warmup < 0 or iterations <= 0:
+            raise ValueError("warmup must be >= 0 and iterations > 0")
+        self.warmup = warmup
+        self.iterations = iterations
+
+    def measure(self, operation: Callable[[], Any]) -> LatencyStats:
+        """Warm up, then time ``iterations`` steady-state invocations."""
+        for _ in range(self.warmup):
+            operation()
+        samples: List[int] = []
+        clock = time.perf_counter_ns
+        for _ in range(self.iterations):
+            begin = clock()
+            operation()
+            samples.append(clock() - begin)
+        return LatencyStats(samples)
+
+    def compare(self, operations: Dict[str, Callable[[], Any]]) -> Dict[str, LatencyStats]:
+        """Measure several labelled operations with identical settings."""
+        return {name: self.measure(op) for name, op in operations.items()}

@@ -1,0 +1,107 @@
+"""A minimal tuple-at-a-time dataflow pipeline.
+
+The paper's techniques are implemented on Apache Flink; this module is
+the substrate substitute: a source feeds stream elements one at a time
+through a chain of operators into sinks.  It is intentionally small --
+the experiments measure the window operator, and the pipeline only has
+to route elements and results the way a Flink task chain would.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..core.operator_base import WindowOperator
+from ..core.types import Record, StreamElement, WindowResult
+
+__all__ = ["MapOperator", "FilterOperator", "Pipeline", "CollectSink", "CountingSink"]
+
+
+class MapOperator:
+    """Stateless per-record transformation (pass-through for non-records)."""
+
+    def __init__(self, fn: Callable[[Record], Record]) -> None:
+        self._fn = fn
+
+    def apply(self, element: StreamElement) -> StreamElement:
+        if isinstance(element, Record):
+            return self._fn(element)
+        return element
+
+
+class FilterOperator:
+    """Drop records failing a predicate (non-records always pass)."""
+
+    def __init__(self, predicate: Callable[[Record], bool]) -> None:
+        self._predicate = predicate
+
+    def apply(self, element: StreamElement) -> Optional[StreamElement]:
+        if isinstance(element, Record) and not self._predicate(element):
+            return None
+        return element
+
+
+class CollectSink:
+    """Collects every window result (tests and examples)."""
+
+    def __init__(self) -> None:
+        self.results: List[WindowResult] = []
+
+    def emit(self, result: WindowResult) -> None:
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class CountingSink:
+    """Counts results without retaining them (throughput runs)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def emit(self, result: WindowResult) -> None:
+        self.count += 1
+
+
+class Pipeline:
+    """source → [map/filter]* → window operator → sink.
+
+    Example::
+
+        pipeline = Pipeline(window_operator, sink)
+        pipeline.add_stage(MapOperator(lambda r: Record(r.ts, r.value * 2)))
+        pipeline.run(source_elements)
+    """
+
+    def __init__(self, window_operator: WindowOperator, sink) -> None:
+        self.window_operator = window_operator
+        self.sink = sink
+        self._stages: List = []
+
+    def add_stage(self, stage) -> "Pipeline":
+        """Insert a map/filter stage upstream of the window operator."""
+        self._stages.append(stage)
+        return self
+
+    def push(self, element: StreamElement) -> None:
+        """Route one element through the chain."""
+        current: Optional[StreamElement] = element
+        for stage in self._stages:
+            current = stage.apply(current)
+            if current is None:
+                return
+        for result in self.window_operator.process(current):
+            self.sink.emit(result)
+
+    def run(self, elements: Iterable[StreamElement]) -> None:
+        """Drain a whole stream through the pipeline."""
+        push = self.push
+        for element in elements:
+            push(element)
+
+    def results(self) -> List[WindowResult]:
+        """The sink's collected results (CollectSink only)."""
+        if isinstance(self.sink, CollectSink):
+            return self.sink.results
+        raise TypeError("results() requires a CollectSink")

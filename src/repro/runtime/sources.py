@@ -1,0 +1,79 @@
+"""Replayable stream sources.
+
+Sources turn record collections into streams the pipeline can consume,
+with optional rate-limited replay for end-to-end demonstrations (the
+benchmarks replay at full speed; examples use paced replay).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.types import Record, StreamElement
+
+__all__ = ["ListSource", "GeneratorSource", "paced_replay"]
+
+
+class ListSource:
+    """A pre-materialized, repeatable stream (the benchmark default)."""
+
+    def __init__(self, elements: Sequence[StreamElement]) -> None:
+        self._elements = list(elements)
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def records(self) -> List[Record]:
+        return [e for e in self._elements if isinstance(e, Record)]
+
+
+class GeneratorSource:
+    """A restartable generator-backed source.
+
+    ``factory`` is called on every iteration, so the same source object
+    can feed several operators identical streams.
+    """
+
+    def __init__(self, factory: Callable[[], Iterable[StreamElement]]) -> None:
+        self._factory = factory
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._factory())
+
+
+def paced_replay(
+    elements: Iterable[StreamElement],
+    *,
+    speedup: float = 1.0,
+    timestamp_unit_seconds: float = 0.001,
+    clock: Optional[Callable[[], float]] = None,
+    sleep: Optional[Callable[[float], None]] = None,
+) -> Iterator[StreamElement]:
+    """Replay a stream honouring event-time spacing (for live demos).
+
+    ``speedup`` scales replay speed (2.0 = twice real time);
+    ``timestamp_unit_seconds`` maps timestamp units to seconds (default:
+    milliseconds).  Injectable clock/sleep keep this testable.
+    """
+    if speedup <= 0:
+        raise ValueError(f"speedup must be positive, got {speedup}")
+    now = clock if clock is not None else time.monotonic
+    pause = sleep if sleep is not None else time.sleep
+    origin_wall: Optional[float] = None
+    origin_ts: Optional[int] = None
+    for element in elements:
+        ts = getattr(element, "ts", None)
+        if ts is not None:
+            if origin_ts is None:
+                origin_ts = ts
+                origin_wall = now()
+            else:
+                target = origin_wall + (ts - origin_ts) * timestamp_unit_seconds / speedup
+                delay = target - now()
+                if delay > 0:
+                    pause(delay)
+        yield element

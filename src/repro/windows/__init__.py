@@ -1,0 +1,42 @@
+"""Window type implementations (Sections 4.4 and 5.4.2).
+
+Context free: :class:`TumblingWindow`, :class:`SlidingWindow`,
+:class:`CountTumblingWindow`, :class:`CountSlidingWindow`,
+:class:`ExplicitEdgesWindow` (user-defined boundary sequences).
+Forward context free: :class:`PunctuationWindow`.
+Context aware: :class:`SessionWindow` (merge-only),
+:class:`LastNEveryWindow` (multi-measure FCA).
+"""
+
+from .base import (
+    ContextAwareWindow,
+    ContextClass,
+    ContextFreeWindow,
+    ForwardContextFreeWindow,
+    WindowEdges,
+    WindowType,
+)
+from .count import CountSlidingWindow, CountTumblingWindow
+from .explicit import ExplicitEdgesWindow
+from .multimeasure import LastNEveryWindow
+from .punctuation import PunctuationWindow
+from .session import SessionWindow
+from .sliding import SlidingWindow
+from .tumbling import TumblingWindow
+
+__all__ = [
+    "WindowType",
+    "ContextClass",
+    "ContextFreeWindow",
+    "ForwardContextFreeWindow",
+    "ContextAwareWindow",
+    "WindowEdges",
+    "TumblingWindow",
+    "SlidingWindow",
+    "CountTumblingWindow",
+    "CountSlidingWindow",
+    "ExplicitEdgesWindow",
+    "SessionWindow",
+    "PunctuationWindow",
+    "LastNEveryWindow",
+]

@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import pytest
+
+from repro.core.operator_base import WindowOperator
+from repro.core.types import Record, StreamElement, Watermark
+
+
+def run_operator(operator: WindowOperator, elements) -> list:
+    """Process a stream and return all emitted results."""
+    results = []
+    for element in elements:
+        results.extend(operator.process(element))
+    return results
+
+
+def final_values(operator: WindowOperator, elements) -> Dict[Tuple[int, int, int], object]:
+    """Process a stream; return the last emitted value per window."""
+    final: Dict[Tuple[int, int, int], object] = {}
+    for element in elements:
+        for result in operator.process(element):
+            final[(result.query_id, result.start, result.end)] = result.value
+    return final
+
+
+def records(pairs: Sequence[Tuple[int, float]]) -> List[Record]:
+    """Build records from (ts, value) pairs."""
+    return [Record(ts, value) for ts, value in pairs]
+
+
+def shuffled_with_disorder(
+    base: Sequence[Record], fraction: float, max_delay: int, seed: int = 0
+) -> List[Record]:
+    """Simple disorder injection for tests (independent of runtime.disorder)."""
+    rng = random.Random(seed)
+    delayed: List[Tuple[int, int, Record]] = []
+    out: List[Record] = []
+    seq = 0
+    for record in base:
+        ready = sorted(entry for entry in delayed if entry[0] <= record.ts)
+        for entry in ready:
+            out.append(entry[2])
+            delayed.remove(entry)
+        if rng.random() < fraction:
+            delayed.append((record.ts + rng.randint(1, max_delay), seq, record))
+            seq += 1
+        else:
+            out.append(record)
+    for entry in sorted(delayed):
+        out.append(entry[2])
+    return out
+
+
+@pytest.fixture
+def simple_stream() -> List[Record]:
+    """25 records, one per timestamp 0..24, value 1.0 each."""
+    return [Record(ts, 1.0) for ts in range(25)]
+
+
+@pytest.fixture
+def valued_stream() -> List[Record]:
+    """50 records every 2 ts with value ts % 7."""
+    return [Record(ts, float(ts % 7)) for ts in range(0, 100, 2)]

@@ -1,0 +1,149 @@
+"""Tests for holistic aggregations and the RLE-encoded sorted runs."""
+
+import pytest
+
+from repro.aggregations import Median, Percentile, PlainMedian, RleRuns, SortedValues, fold
+
+
+class TestRleRuns:
+    def test_of_single_value(self):
+        runs = RleRuns.of(5.0)
+        assert runs.runs == [(5.0, 1)]
+        assert runs.total == 1
+
+    def test_from_values_sorts_and_encodes(self):
+        runs = RleRuns.from_values([3.0, 1.0, 3.0, 2.0, 3.0])
+        assert runs.runs == [(1.0, 1), (2.0, 1), (3.0, 3)]
+        assert runs.total == 5
+
+    def test_merge_preserves_order_and_counts(self):
+        left = RleRuns.from_values([1.0, 3.0, 3.0])
+        right = RleRuns.from_values([2.0, 3.0])
+        merged = left.merge(right)
+        assert merged.runs == [(1.0, 1), (2.0, 1), (3.0, 3)]
+        assert merged.total == 5
+
+    def test_merge_with_empty(self):
+        runs = RleRuns.from_values([1.0])
+        assert runs.merge(RleRuns()).runs == runs.runs
+        assert RleRuns().merge(runs).runs == runs.runs
+
+    def test_merge_coalesces_boundary_runs(self):
+        left = RleRuns.from_values([1.0, 2.0])
+        right = RleRuns.from_values([2.0, 3.0])
+        assert left.merge(right).runs == [(1.0, 1), (2.0, 2), (3.0, 1)]
+
+    def test_select(self):
+        runs = RleRuns.from_values([1.0, 1.0, 2.0, 5.0])
+        assert [runs.select(i) for i in range(4)] == [1.0, 1.0, 2.0, 5.0]
+
+    def test_select_out_of_range(self):
+        with pytest.raises(IndexError):
+            RleRuns.from_values([1.0]).select(1)
+
+    def test_quantile_bounds(self):
+        runs = RleRuns.from_values([float(i) for i in range(10)])
+        assert runs.quantile(0.0) == 0.0
+        assert runs.quantile(1.0) == 9.0
+        assert runs.quantile(0.5) == 5.0
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(ValueError):
+            RleRuns().quantile(0.5)
+
+    def test_quantile_invalid_q(self):
+        with pytest.raises(ValueError):
+            RleRuns.of(1.0).quantile(1.5)
+
+    def test_subtract(self):
+        runs = RleRuns.from_values([1.0, 1.0, 2.0, 3.0])
+        removed = runs.subtract(RleRuns.from_values([1.0, 3.0]))
+        assert removed.runs == [(1.0, 1), (2.0, 1)]
+
+    def test_subtract_missing_value_raises(self):
+        with pytest.raises(ValueError):
+            RleRuns.from_values([1.0]).subtract(RleRuns.from_values([2.0]))
+
+    def test_subtract_overdraw_raises(self):
+        with pytest.raises(ValueError):
+            RleRuns.from_values([1.0]).subtract(RleRuns.from_values([1.0, 1.0]))
+
+    def test_distinct_counts_runs(self):
+        assert RleRuns.from_values([1.0, 1.0, 2.0]).distinct() == 2
+
+    def test_rle_compression_for_low_cardinality(self):
+        # The Figure 14 effect: few distinct values -> few runs.
+        many = RleRuns.from_values([float(i % 3) for i in range(1000)])
+        assert many.distinct() == 3
+        assert len(many) == 1000
+
+
+class TestSortedValues:
+    def test_merge(self):
+        left = SortedValues([1.0, 3.0])
+        right = SortedValues([2.0, 4.0])
+        assert left.merge(right).values == [1.0, 2.0, 3.0, 4.0]
+
+    def test_subtract(self):
+        values = SortedValues([1.0, 2.0, 2.0, 3.0])
+        assert values.subtract(SortedValues([2.0])).values == [1.0, 2.0, 3.0]
+
+    def test_subtract_missing_raises(self):
+        with pytest.raises(ValueError):
+            SortedValues([1.0]).subtract(SortedValues([9.0]))
+
+    def test_quantile(self):
+        values = SortedValues([float(i) for i in range(4)])
+        assert values.quantile(0.5) == 2.0
+
+
+class TestMedian:
+    def test_median_odd(self):
+        fn = Median()
+        partial = fold(fn, [5.0, 1.0, 3.0])
+        assert fn.lower(partial) == 3.0
+
+    def test_median_even_uses_nearest_rank(self):
+        fn = Median()
+        partial = fold(fn, [1.0, 2.0, 3.0, 4.0])
+        assert fn.lower(partial) == 3.0  # rank int(0.5*4)=2 -> value 3.0
+
+    def test_empty_lowers_to_none(self):
+        fn = Median()
+        assert fn.lower(RleRuns()) is None
+
+    def test_invert_multiset(self):
+        fn = Median()
+        partial = fold(fn, [1.0, 2.0, 3.0, 9.0])
+        reduced = fn.invert(partial, fn.lift(9.0))
+        assert fn.lower(reduced) == 2.0
+
+    def test_holistic_classification(self):
+        from repro.aggregations.base import AggregationClass
+
+        assert Median().kind is AggregationClass.HOLISTIC
+
+
+class TestPercentile:
+    def test_90th(self):
+        fn = Percentile(0.9)
+        partial = fold(fn, [float(i) for i in range(100)])
+        assert fn.lower(partial) == 90.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            Percentile(2.0)
+
+    def test_name_includes_quantile(self):
+        assert Percentile(0.9).name == "90-percentile"
+
+
+class TestPlainMedian:
+    def test_matches_rle_median(self):
+        values = [float(i % 13) for i in range(77)]
+        rle = Median()
+        plain = PlainMedian()
+        assert rle.lower(fold(rle, values)) == plain.lower(fold(plain, values))
+
+    def test_empty(self):
+        assert PlainMedian().lower(SortedValues()) is None

@@ -1,0 +1,134 @@
+"""Property-based tests: the declared algebraic properties must hold.
+
+The correctness of slicing *depends* on these properties (Section 4.2):
+associativity enables sharing; commutativity enables cheap out-of-order
+updates; invertibility enables cheap count shifts.  Hypothesis checks
+each declared property against the implementation.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregations import (
+    Average,
+    Count,
+    GeometricMean,
+    M4,
+    Max,
+    Median,
+    Min,
+    Percentile,
+    PopulationStdDev,
+    Sum,
+    fold,
+)
+from repro.aggregations.ordered import CollectList, ConcatString, First, Last
+
+# Bounded floats keep float associativity exact enough to assert equality
+# on lowered results with tolerance.
+values = st.integers(min_value=-1000, max_value=1000).map(float)
+positive_values = st.integers(min_value=1, max_value=1000).map(float)
+
+COMMUTATIVE_FUNCTIONS = [Sum(), Count(), Average(), Min(), Max(), PopulationStdDev(), Median()]
+ALL_FUNCTIONS = COMMUTATIVE_FUNCTIONS + [M4(), First(), Last(), CollectList()]
+
+
+def _approx_equal(left, right) -> bool:
+    if isinstance(left, float) and isinstance(right, float):
+        return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9)
+    if isinstance(left, tuple) and isinstance(right, tuple):
+        return len(left) == len(right) and all(
+            _approx_equal(a, b) for a, b in zip(left, right)
+        )
+    return left == right
+
+
+@given(x=values, y=values, z=values)
+@settings(max_examples=60)
+def test_associativity_all_functions(x, y, z):
+    for fn in ALL_FUNCTIONS:
+        a, b, c = fn.lift(x), fn.lift(y), fn.lift(z)
+        left = fn.combine(fn.combine(a, b), c)
+        right = fn.combine(a, fn.combine(b, c))
+        assert _approx_equal(fn.lower(left), fn.lower(right)), fn.name
+
+
+@given(x=values, y=values)
+@settings(max_examples=60)
+def test_commutativity_where_declared(x, y):
+    for fn in COMMUTATIVE_FUNCTIONS:
+        assert fn.commutative, fn.name
+        left = fn.combine(fn.lift(x), fn.lift(y))
+        right = fn.combine(fn.lift(y), fn.lift(x))
+        assert _approx_equal(fn.lower(left), fn.lower(right)), fn.name
+
+
+@given(batch=st.lists(values, min_size=1, max_size=30), removed_index=st.integers(0, 29))
+@settings(max_examples=60)
+def test_invert_roundtrip(batch, removed_index):
+    removed_index %= len(batch)
+    removed = batch[removed_index]
+    remaining = batch[:removed_index] + batch[removed_index + 1 :]
+    for fn in (Sum(), Count(), Average(), PopulationStdDev(), Median()):
+        assert fn.invertible, fn.name
+        full = fold(fn, batch)
+        reduced = fn.invert(full, fn.lift(removed))
+        if remaining:
+            expected = fold(fn, remaining)
+            assert _approx_equal(fn.lower(reduced), fn.lower(expected)), fn.name
+
+
+@given(batch=st.lists(positive_values, min_size=1, max_size=20))
+@settings(max_examples=40)
+def test_geomean_matches_direct_computation(batch):
+    fn = GeometricMean()
+    partial = fold(fn, batch)
+    direct = math.exp(sum(math.log(v) for v in batch) / len(batch))
+    assert math.isclose(fn.lower(partial), direct, rel_tol=1e-9)
+
+
+@given(batch=st.lists(values, min_size=1, max_size=50))
+@settings(max_examples=60)
+def test_median_matches_sorted_reference(batch):
+    fn = Median()
+    partial = fold(fn, batch)
+    expected = sorted(batch)[min(len(batch) - 1, int(0.5 * len(batch)))]
+    assert fn.lower(partial) == expected
+
+
+@given(batch=st.lists(values, min_size=1, max_size=50), q=st.floats(0.0, 1.0))
+@settings(max_examples=60)
+def test_percentile_matches_nearest_rank(batch, q):
+    fn = Percentile(q)
+    partial = fold(fn, batch)
+    expected = sorted(batch)[min(len(batch) - 1, max(0, int(q * len(batch))))]
+    assert fn.lower(partial) == expected
+
+
+@given(
+    left=st.lists(values, min_size=0, max_size=30),
+    right=st.lists(values, min_size=0, max_size=30),
+)
+@settings(max_examples=60)
+def test_rle_merge_equals_multiset_union(left, right):
+    from repro.aggregations import RleRuns
+
+    merged = RleRuns.from_values(left).merge(RleRuns.from_values(right))
+    assert merged.runs == RleRuns.from_values(left + right).runs
+
+
+@given(batch=st.lists(values, min_size=1, max_size=30))
+@settings(max_examples=60)
+def test_m4_fold_matches_direct(batch):
+    fn = M4()
+    result = fn.lower(fold(fn, batch))
+    assert result == (min(batch), max(batch), batch[0], batch[-1])
+
+
+@given(batch=st.lists(st.text(max_size=4), min_size=1, max_size=10))
+@settings(max_examples=40)
+def test_concat_order_sensitive(batch):
+    fn = ConcatString("|")
+    assert fn.lower(fold(fn, batch)) == "|".join(batch)

@@ -1,0 +1,272 @@
+"""Tests for the Section 3 baseline operators."""
+
+import pytest
+
+from conftest import final_values, run_operator, shuffled_with_disorder
+from repro import Record, StreamOrderViolation, Watermark
+from repro.aggregations import Median, Min, Sum
+from repro.baselines import (
+    AggregateBucketsOperator,
+    AggregateTreeOperator,
+    CuttyOperator,
+    PairsOperator,
+    TupleBucketsOperator,
+    TupleBufferOperator,
+)
+from repro.core.types import Punctuation
+from repro.reference import reference_results
+from repro.windows import (
+    CountTumblingWindow,
+    LastNEveryWindow,
+    PunctuationWindow,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+)
+
+GENERAL_BASELINES = [
+    TupleBufferOperator,
+    AggregateTreeOperator,
+    AggregateBucketsOperator,
+    TupleBucketsOperator,
+]
+
+
+class TestInOrderAgreementWithReference:
+    @pytest.mark.parametrize("cls", GENERAL_BASELINES + [PairsOperator, CuttyOperator])
+    def test_tumbling_sum(self, cls, simple_stream):
+        op = cls() if cls in (PairsOperator, CuttyOperator) else cls(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Sum())
+        results = run_operator(op, simple_stream)
+        assert [(r.start, r.end, r.value) for r in results] == [
+            (0, 10, 10.0),
+            (10, 20, 10.0),
+        ]
+
+    @pytest.mark.parametrize("cls", GENERAL_BASELINES + [PairsOperator, CuttyOperator])
+    def test_sliding_sum(self, cls, valued_stream):
+        op = cls() if cls in (PairsOperator, CuttyOperator) else cls(stream_in_order=True)
+        op.add_query(SlidingWindow(20, 10), Sum())
+        final = final_values(op, valued_stream + [Watermark(10**6)])
+        expected = reference_results(
+            [(SlidingWindow(20, 10), Sum())], valued_stream, horizon=10**6
+        )
+        assert final == expected
+
+    @pytest.mark.parametrize("cls", GENERAL_BASELINES)
+    def test_sessions(self, cls):
+        op = cls(stream_in_order=True)
+        op.add_query(SessionWindow(5), Sum())
+        stream = [Record(t, 1.0) for t in [1, 2, 3, 20, 21, 40]]
+        final = final_values(op, stream + [Watermark(100)])
+        assert final == {(0, 1, 8): 3.0, (0, 20, 26): 2.0, (0, 40, 45): 1.0}
+
+    @pytest.mark.parametrize("cls", [TupleBufferOperator, AggregateTreeOperator])
+    def test_count_windows(self, cls):
+        op = cls(stream_in_order=True)
+        op.add_query(CountTumblingWindow(3), Sum())
+        stream = [Record(t, float(t)) for t in range(10)]
+        results = run_operator(op, stream)
+        assert [(r.start, r.end, r.value) for r in results] == [
+            (0, 3, 3.0),
+            (3, 6, 12.0),
+            (6, 9, 21.0),
+        ]
+
+    @pytest.mark.parametrize("cls", [TupleBufferOperator, AggregateTreeOperator])
+    def test_multimeasure(self, cls):
+        op = cls(stream_in_order=True)
+        op.add_query(LastNEveryWindow(count=3, every=10), Sum())
+        stream = [Record(t, 1.0) for t in range(0, 25, 2)]
+        results = run_operator(op, stream)
+        assert [(r.start, r.end, r.value) for r in results] == [
+            (2, 5, 3.0),
+            (7, 10, 3.0),
+        ]
+
+
+class TestOutOfOrderBehaviour:
+    @pytest.mark.parametrize("cls", GENERAL_BASELINES)
+    def test_late_update(self, cls):
+        op = cls(stream_in_order=False, allowed_lateness=1000)
+        op.add_query(TumblingWindow(10), Sum())
+        run_operator(op, [Record(1, 1.0), Record(15, 1.0), Watermark(12)])
+        updates = op.process(Record(3, 2.0))
+        assert [(u.start, u.end, u.value) for u in updates] == [(0, 10, 3.0)]
+        assert updates[0].is_update
+
+    @pytest.mark.parametrize("cls", GENERAL_BASELINES)
+    def test_in_order_mode_rejects_late_records(self, cls):
+        op = cls(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Sum())
+        op.process(Record(10, 1.0))
+        with pytest.raises(StreamOrderViolation):
+            op.process(Record(5, 1.0))
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("cls", [TupleBufferOperator, AggregateTreeOperator])
+    def test_random_disorder_matches_reference(self, cls, seed):
+        base = [Record(t, float(t % 5)) for t in range(0, 200, 2)]
+        disordered = shuffled_with_disorder(base, 0.3, 20, seed=seed)
+        queries = [(TumblingWindow(20), Sum()), (SessionWindow(6), Sum())]
+        op = cls(stream_in_order=False, allowed_lateness=10_000)
+        for window, fn in queries:
+            op.add_query(window, fn)
+        final = final_values(op, disordered + [Watermark(10_000)])
+        expected = reference_results(queries, base, horizon=10_000)
+        assert final == expected
+
+
+class TestBuckets:
+    def test_tuple_buckets_serve_holistic(self):
+        op = TupleBucketsOperator(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Median())
+        results = run_operator(op, [Record(t, float(t)) for t in range(12)])
+        assert results[0].value == 5.0
+
+    def test_aggregate_buckets_reject_holistic(self):
+        op = AggregateBucketsOperator(stream_in_order=True)
+        with pytest.raises(ValueError):
+            op.add_query(TumblingWindow(10), Median())
+
+    def test_bucket_count_reflects_overlap(self):
+        op = AggregateBucketsOperator(stream_in_order=False, allowed_lateness=10**9)
+        op.add_query(SlidingWindow(20, 5), Sum())
+        run_operator(op, [Record(t, 1.0) for t in range(0, 40, 2)])
+        # Overlapping sliding windows materialize one bucket each.
+        assert op.bucket_count() >= 8
+
+    def test_session_bucket_merging(self):
+        op = AggregateBucketsOperator(stream_in_order=False, allowed_lateness=1000)
+        op.add_query(SessionWindow(5), Sum())
+        elements = [
+            Record(1, 1.0),
+            Record(8, 1.0),
+            Record(4, 1.0),
+            Watermark(40),
+        ]
+        final = final_values(op, elements)
+        assert final == {(0, 1, 13): 3.0}
+
+    def test_ooo_throughput_cost_is_bucket_local(self):
+        # An out-of-order record only touches its buckets: same output.
+        op = AggregateBucketsOperator(stream_in_order=False, allowed_lateness=1000)
+        op.add_query(TumblingWindow(10), Sum())
+        final = final_values(
+            op,
+            [Record(5, 1.0), Record(15, 1.0), Record(2, 1.0), Watermark(20)],
+        )
+        assert final == {(0, 0, 10): 2.0, (0, 10, 20): 1.0}
+
+
+class TestPairsRestrictions:
+    def test_rejects_sessions(self):
+        with pytest.raises(ValueError):
+            PairsOperator().add_query(SessionWindow(5), Sum())
+
+    def test_rejects_holistic(self):
+        with pytest.raises(ValueError):
+            PairsOperator().add_query(TumblingWindow(10), Median())
+
+    def test_rejects_out_of_order(self):
+        op = PairsOperator()
+        op.add_query(TumblingWindow(10), Sum())
+        op.process(Record(10, 1.0))
+        with pytest.raises(StreamOrderViolation):
+            op.process(Record(5, 1.0))
+
+    def test_fragments_shared_across_queries(self, simple_stream):
+        op = PairsOperator()
+        op.add_query(TumblingWindow(10), Sum())
+        op.add_query(SlidingWindow(10, 5), Sum())
+        run_operator(op, simple_stream)
+        # Edges at multiples of 5: about one fragment per 5 ts.
+        assert op.fragment_count() <= 7
+
+
+class TestCutty:
+    def test_rejects_fca(self):
+        with pytest.raises(ValueError):
+            CuttyOperator().add_query(LastNEveryWindow(5, 10), Sum())
+
+    def test_rejects_out_of_order(self):
+        op = CuttyOperator()
+        op.add_query(TumblingWindow(10), Sum())
+        op.process(Record(10, 1.0))
+        with pytest.raises(StreamOrderViolation):
+            op.process(Record(5, 1.0))
+
+    def test_punctuation_windows_supported(self):
+        op = CuttyOperator()
+        op.add_query(PunctuationWindow(), Sum())
+        elements = [
+            Record(1, 1.0),
+            Record(2, 1.0),
+            Punctuation(5),
+            Record(7, 1.0),
+            Punctuation(9),
+            Record(11, 1.0),
+        ]
+        results = run_operator(op, elements)
+        assert [(r.start, r.end, r.value) for r in results] == [
+            (0, 5, 2.0),
+            (5, 9, 1.0),
+        ]
+
+    def test_user_defined_window_via_subclass(self, simple_stream):
+        """Cutty's selling point: plug in a custom deterministic window."""
+        from repro.windows.base import ContextFreeWindow
+
+        class FibonacciWindow(ContextFreeWindow):
+            """Windows between consecutive Fibonacci numbers."""
+
+            EDGES = [0, 1, 2, 3, 5, 8, 13, 21, 34]
+
+            def get_next_edge(self, ts):
+                for edge in self.EDGES:
+                    if edge > ts:
+                        return edge
+                return None
+
+            def get_floor_edge(self, ts):
+                best = None
+                for edge in self.EDGES:
+                    if edge <= ts:
+                        best = edge
+                return best
+
+            def trigger_windows(self, prev, curr):
+                for lo, hi in zip(self.EDGES, self.EDGES[1:]):
+                    if prev < hi <= curr:
+                        yield (lo, hi)
+
+        op = CuttyOperator()
+        op.add_query(FibonacciWindow(), Sum())
+        results = run_operator(op, simple_stream)
+        assert [(r.start, r.end, r.value) for r in results] == [
+            (0, 1, 1.0),
+            (1, 2, 1.0),
+            (2, 3, 1.0),
+            (3, 5, 2.0),
+            (5, 8, 3.0),
+            (8, 13, 5.0),
+            (13, 21, 8.0),
+        ]
+
+
+class TestEviction:
+    def test_tuple_buffer_evicts_old_records(self):
+        op = TupleBufferOperator(stream_in_order=True)
+        op.EVICT_BATCH = 1  # force eager eviction for the test
+        op.add_query(TumblingWindow(10), Sum())
+        for ts in range(0, 2000, 2):
+            op.process(Record(ts, 1.0))
+        assert op.buffered_records() < 200
+
+    def test_aggregate_tree_evicts_old_records(self):
+        op = AggregateTreeOperator(stream_in_order=True)
+        op.EVICT_BATCH = 1
+        op.add_query(TumblingWindow(10), Sum())
+        for ts in range(0, 2000, 2):
+            op.process(Record(ts, 1.0))
+        assert op.buffered_records() < 200

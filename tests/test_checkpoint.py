@@ -1,0 +1,126 @@
+"""Tests for operator checkpointing (snapshot / restore / wrapper)."""
+
+import pytest
+
+from conftest import final_values, run_operator, shuffled_with_disorder
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Median, Sum
+from repro.baselines import AggregateTreeOperator, TupleBufferOperator
+from repro.runtime.checkpoint import CheckpointingOperator, restore, snapshot
+from repro.windows import CountTumblingWindow, SessionWindow, TumblingWindow
+
+
+def build_operator():
+    operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=10_000)
+    operator.add_query(TumblingWindow(10), Sum())
+    operator.add_query(SessionWindow(5), Sum())
+    return operator
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_preserves_future_emissions(self):
+        base = [Record(t, float(t % 3)) for t in range(0, 120, 2)]
+        stream = shuffled_with_disorder(base, 0.3, 12, seed=4)
+        split = len(stream) // 2
+
+        original = build_operator()
+        run_operator(original, stream[:split])
+        clone = restore(snapshot(original))
+
+        tail = stream[split:] + [Watermark(10_000)]
+        original_results = final_values(original, tail)
+        clone_results = final_values(clone, tail)
+        assert original_results == clone_results
+        assert original_results  # the comparison is not vacuous
+
+    def test_snapshot_is_deep(self):
+        operator = build_operator()
+        run_operator(operator, [Record(t, 1.0) for t in range(15)])
+        blob = snapshot(operator)
+        run_operator(operator, [Record(t, 1.0) for t in range(15, 40)])
+        clone = restore(blob)
+        # The clone must still be at the snapshot point: feeding the same
+        # suffix yields the same results the original produced.
+        suffix = [Record(t, 1.0) for t in range(15, 40)] + [Watermark(35)]
+        results = run_operator(clone, suffix)
+        assert any(r.end == 30 for r in results)
+
+    def test_restore_rejects_non_operator(self):
+        import pickle
+
+        with pytest.raises(TypeError):
+            restore(pickle.dumps({"not": "an operator"}))
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: TupleBufferOperator(stream_in_order=False, allowed_lateness=10_000),
+            lambda: AggregateTreeOperator(stream_in_order=False, allowed_lateness=10_000),
+        ],
+    )
+    def test_baselines_snapshot_too(self, factory):
+        base = [Record(t, float(t)) for t in range(0, 100, 2)]
+        operator = factory()
+        operator.add_query(TumblingWindow(20), Sum())
+        run_operator(operator, base[:25])
+        clone = restore(snapshot(operator))
+        tail = base[25:] + [Watermark(10_000)]
+        assert final_values(operator, tail) == final_values(clone, tail)
+
+    def test_record_retaining_workload_roundtrips(self):
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=10_000)
+        operator.add_query(CountTumblingWindow(5), Sum())
+        operator.add_query(TumblingWindow(20), Median())
+        base = [Record(t, float(t % 7)) for t in range(0, 100, 2)]
+        stream = shuffled_with_disorder(base, 0.3, 10, seed=2)
+        run_operator(operator, stream[:30])
+        clone = restore(snapshot(operator))
+        tail = stream[30:] + [Watermark(10_000)]
+        assert final_values(operator, tail) == final_values(clone, tail)
+
+
+class TestCheckpointingOperator:
+    def test_periodic_snapshots(self):
+        guarded = CheckpointingOperator(build_operator(), every=10)
+        run_operator(guarded, [Record(t, 1.0) for t in range(35)])
+        assert guarded.snapshots_taken == 3
+        assert guarded.records_since_snapshot == 5
+
+    def test_results_pass_through(self):
+        plain = build_operator()
+        guarded = CheckpointingOperator(build_operator(), every=7)
+        stream = [Record(t, 1.0) for t in range(40)] + [Watermark(1000)]
+        assert final_values(plain, stream) == final_values(guarded, stream)
+
+    def test_recovery_replay(self):
+        guarded = CheckpointingOperator(build_operator(), every=10)
+        stream = [Record(t, 1.0) for t in range(37)]
+        emitted = run_operator(guarded, stream)
+        # Simulate a crash: recover from the last snapshot and replay the
+        # records processed since it.
+        recovered = restore(guarded.last_snapshot)
+        replay = stream[len(stream) - guarded.records_since_snapshot :]
+        run_operator(recovered, replay)
+        flush_original = final_values(guarded, [Watermark(10_000)])
+        flush_recovered = final_values(recovered, [Watermark(10_000)])
+        assert flush_original == flush_recovered
+
+    def test_add_query_resets_checkpoint(self):
+        guarded = CheckpointingOperator(
+            GeneralSlicingOperator(stream_in_order=True), every=100
+        )
+        guarded.add_query(TumblingWindow(10), Sum())
+        assert guarded.records_since_snapshot == 0
+        results = run_operator(guarded, [Record(t, 1.0) for t in range(25)])
+        assert [(r.start, r.end) for r in results] == [(0, 10), (10, 20)]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            CheckpointingOperator(build_operator(), every=0)
+
+    def test_manual_checkpoint(self):
+        guarded = CheckpointingOperator(build_operator(), every=10**9)
+        run_operator(guarded, [Record(t, 1.0) for t in range(5)])
+        blob = guarded.checkpoint()
+        assert guarded.records_since_snapshot == 0
+        assert restore(blob) is not None

@@ -1,0 +1,155 @@
+"""Cross-technique agreement: every operator is a drop-in replacement.
+
+The paper's premise is that general slicing replaces alternative window
+operators *without changing input or output semantics*.  These tests
+hold all techniques to that: on identical streams and queries, the
+final results (last emission per window) must agree exactly.
+"""
+
+import pytest
+
+from conftest import final_values, shuffled_with_disorder
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Average, Max, Median, Min, Sum
+from repro.baselines import (
+    AggregateBucketsOperator,
+    AggregateTreeOperator,
+    CuttyOperator,
+    PairsOperator,
+    TupleBucketsOperator,
+    TupleBufferOperator,
+)
+from repro.reference import reference_results
+from repro.windows import SessionWindow, SlidingWindow, TumblingWindow
+
+HORIZON = 1_000_000
+
+
+def all_inorder_operators():
+    return [
+        ("lazy", GeneralSlicingOperator(stream_in_order=True)),
+        ("eager", GeneralSlicingOperator(stream_in_order=True, eager=True)),
+        ("buffer", TupleBufferOperator(stream_in_order=True)),
+        ("tree", AggregateTreeOperator(stream_in_order=True)),
+        ("agg-buckets", AggregateBucketsOperator(stream_in_order=True)),
+        ("tuple-buckets", TupleBucketsOperator(stream_in_order=True)),
+        ("pairs", PairsOperator()),
+        ("cutty", CuttyOperator()),
+    ]
+
+
+def all_ooo_operators(lateness=HORIZON):
+    return [
+        ("lazy", GeneralSlicingOperator(stream_in_order=False, allowed_lateness=lateness)),
+        ("eager", GeneralSlicingOperator(stream_in_order=False, eager=True, allowed_lateness=lateness)),
+        ("buffer", TupleBufferOperator(stream_in_order=False, allowed_lateness=lateness)),
+        ("tree", AggregateTreeOperator(stream_in_order=False, allowed_lateness=lateness)),
+        ("agg-buckets", AggregateBucketsOperator(stream_in_order=False, allowed_lateness=lateness)),
+    ]
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_inorder_periodic_queries_all_techniques(seed):
+    import random
+
+    rng = random.Random(seed)
+    stream = []
+    ts = 0
+    for _ in range(300):
+        ts += rng.randint(0, 5)
+        stream.append(Record(ts, float(rng.randint(-10, 10))))
+    queries = [(TumblingWindow(17), Sum()), (SlidingWindow(30, 10), Sum())]
+    expected = reference_results(queries, stream, horizon=HORIZON)
+    for name, operator in all_inorder_operators():
+        for window, fn in queries:
+            if isinstance(window, SlidingWindow):
+                operator.add_query(SlidingWindow(window.length, window.slide), Sum())
+            else:
+                operator.add_query(TumblingWindow(window.length), Sum())
+        final = final_values(operator, stream + [Watermark(HORIZON)])
+        assert final == expected, name
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_ooo_mixed_queries_all_general_techniques(seed):
+    base = [Record(t, float(t % 9)) for t in range(0, 400, 2)]
+    disordered = shuffled_with_disorder(base, 0.35, 40, seed=seed)
+    queries = [
+        (TumblingWindow(40), Sum()),
+        (SlidingWindow(60, 20), Max()),
+        (SessionWindow(8), Average()),
+    ]
+    expected = reference_results(queries, base, horizon=HORIZON)
+    for name, operator in all_ooo_operators():
+        for window, fn in queries:
+            if isinstance(window, SlidingWindow):
+                operator.add_query(SlidingWindow(window.length, window.slide), Max())
+            elif isinstance(window, SessionWindow):
+                operator.add_query(SessionWindow(window.gap), Average())
+            else:
+                operator.add_query(TumblingWindow(window.length), Sum())
+        final = final_values(operator, disordered + [Watermark(HORIZON)])
+        assert final == expected, name
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_ooo_holistic_median_record_keeping_techniques(seed):
+    base = [Record(t, float((t * 7) % 23)) for t in range(0, 240, 3)]
+    disordered = shuffled_with_disorder(base, 0.3, 30, seed=seed)
+    queries = [(TumblingWindow(30), Median())]
+    expected = reference_results(queries, base, horizon=HORIZON)
+    operators = [
+        ("lazy", GeneralSlicingOperator(stream_in_order=False, allowed_lateness=HORIZON)),
+        ("buffer", TupleBufferOperator(stream_in_order=False, allowed_lateness=HORIZON)),
+        ("tuple-buckets", TupleBucketsOperator(stream_in_order=False, allowed_lateness=HORIZON)),
+    ]
+    for name, operator in operators:
+        operator.add_query(TumblingWindow(30), Median())
+        final = final_values(operator, disordered + [Watermark(HORIZON)])
+        assert final == expected, name
+
+
+def test_watermark_cadence_does_not_change_final_results():
+    """Frequent vs sparse watermarks must converge to the same answers."""
+    base = [Record(t, float(t % 5)) for t in range(0, 200, 2)]
+    disordered = shuffled_with_disorder(base, 0.3, 20, seed=1)
+    queries = [(TumblingWindow(25), Sum()), (SessionWindow(6), Sum())]
+    expected = reference_results(queries, base, horizon=HORIZON)
+
+    def run_with_watermarks(every):
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=HORIZON)
+        for window, fn in queries:
+            operator.add_query(
+                SessionWindow(window.gap) if isinstance(window, SessionWindow) else TumblingWindow(window.length),
+                Sum(),
+            )
+        elements = []
+        for index, record in enumerate(disordered):
+            elements.append(record)
+            if index % every == every - 1:
+                elements.append(Watermark(record.ts - 25))
+        elements.append(Watermark(HORIZON))
+        return final_values(operator, elements)
+
+    assert run_with_watermarks(3) == expected
+    assert run_with_watermarks(50) == expected
+
+
+def test_interleaved_identical_operators_stay_in_lockstep():
+    """Processing element-by-element, lazy and eager agree at every step."""
+    base = [Record(t, float(t % 4)) for t in range(0, 120, 2)]
+    disordered = shuffled_with_disorder(base, 0.4, 16, seed=9)
+    lazy = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=HORIZON)
+    eager = GeneralSlicingOperator(stream_in_order=False, eager=True, allowed_lateness=HORIZON)
+    for operator in (lazy, eager):
+        operator.add_query(TumblingWindow(20), Sum())
+        operator.add_query(SessionWindow(5), Min())
+    elements = list(disordered) + [Watermark(HORIZON)]
+    wm = None
+    for index, element in enumerate(elements):
+        left = sorted((r.query_id, r.start, r.end, repr(r.value)) for r in lazy.process(element))
+        right = sorted((r.query_id, r.start, r.end, repr(r.value)) for r in eager.process(element))
+        assert left == right, f"diverged at element {index}: {element}"
+        if index % 20 == 19:
+            wm = Watermark(element.ts if isinstance(element, Record) else element.ts)
+            assert sorted(map(repr, lazy.process(wm))) == sorted(map(repr, eager.process(wm)))

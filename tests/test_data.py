@@ -1,0 +1,124 @@
+"""Tests for the synthetic dataset generators and workloads."""
+
+import pytest
+
+from repro.core.types import Record, Watermark
+from repro.data import (
+    FOOTBALL_DISTINCT_VALUES,
+    MACHINE_DISTINCT_VALUES,
+    SECOND_MS,
+    constrained_stream,
+    dashboard_queries,
+    dashboard_windows,
+    football_keyed_stream,
+    football_stream,
+    m4_dashboard_queries,
+    machine_stream,
+    session_query,
+)
+from repro.runtime import disorder_fraction
+
+
+class TestFootball:
+    def test_record_count(self):
+        assert len(football_stream(500)) == 500
+
+    def test_in_order(self):
+        stream = football_stream(2000)
+        assert all(a.ts <= b.ts for a, b in zip(stream, stream[1:]))
+
+    def test_rate_approximation(self):
+        stream = football_stream(4000, gaps_per_minute=0)
+        span_ms = stream[-1].ts - stream[0].ts
+        rate = 4000 / (span_ms / 1000)
+        assert 1500 < rate < 2500  # ~2000 Hz
+
+    def test_session_gaps_present(self):
+        stream = football_stream(50_000, gaps_per_minute=5, gap_ms=1500)
+        gaps = sum(
+            1 for a, b in zip(stream, stream[1:]) if b.ts - a.ts >= 1000
+        )
+        assert gaps >= 1
+
+    def test_high_value_cardinality(self):
+        stream = football_stream(20_000)
+        distinct = len({r.value for r in stream})
+        assert distinct > 1000  # many distinct values (RLE-hostile)
+
+    def test_deterministic(self):
+        a = football_stream(100, seed=9)
+        b = football_stream(100, seed=9)
+        assert a == b
+
+    def test_keyed_stream(self):
+        stream = football_keyed_stream(100, num_keys=4)
+        assert {r.key for r in stream} <= set(range(4))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            football_stream(-1)
+
+
+class TestMachine:
+    def test_rate(self):
+        stream = machine_stream(1000, gaps_per_minute=0)
+        span_ms = stream[-1].ts - stream[0].ts
+        rate = 1000 / (span_ms / 1000)
+        assert 80 < rate < 120  # ~100 Hz
+
+    def test_low_cardinality(self):
+        stream = machine_stream(20_000)
+        distinct = len({r.value for r in stream})
+        assert distinct <= MACHINE_DISTINCT_VALUES
+
+    def test_states_sticky(self):
+        stream = machine_stream(1000)
+        changes = sum(1 for a, b in zip(stream, stream[1:]) if a.value != b.value)
+        assert changes < 300  # sticky Markov states
+
+
+class TestWorkloads:
+    def test_dashboard_windows_lengths(self):
+        windows = dashboard_windows(40)
+        lengths = {w.length for w in windows}
+        assert min(lengths) == 1 * SECOND_MS
+        assert max(lengths) == 20 * SECOND_MS
+        assert len(windows) == 40
+
+    def test_dashboard_queries_pair_windows_with_aggregations(self):
+        queries = dashboard_queries(5)
+        assert len(queries) == 5
+        assert all(fn.name == "sum" for _, fn in queries)
+
+    def test_dashboard_requires_positive_count(self):
+        with pytest.raises(ValueError):
+            dashboard_windows(0)
+
+    def test_constrained_stream_has_disorder_and_watermarks(self):
+        records = football_stream(3000)
+        stream = constrained_stream(records, fraction=0.2, max_delay=2 * SECOND_MS)
+        data = [e for e in stream if isinstance(e, Record)]
+        watermarks = [e for e in stream if isinstance(e, Watermark)]
+        assert len(data) == 3000
+        assert watermarks
+        assert 0.05 < disorder_fraction(data) < 0.4
+
+    def test_constrained_stream_watermarks_safe(self):
+        records = football_stream(2000)
+        stream = constrained_stream(records, fraction=0.3, max_delay=1000)
+        current_wm = None
+        for element in stream:
+            if isinstance(element, Watermark):
+                current_wm = element.ts
+            elif current_wm is not None:
+                assert element.ts >= current_wm  # no record behind the watermark
+
+    def test_m4_dashboard(self):
+        queries = m4_dashboard_queries(8)
+        assert len(queries) == 8
+        assert all(fn.name == "m4" for _, fn in queries)
+
+    def test_session_query(self):
+        window, fn = session_query(1.0)
+        assert window.gap == SECOND_MS
+        assert fn.name == "sum"

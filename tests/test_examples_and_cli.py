@@ -1,0 +1,72 @@
+"""Smoke tests: examples run end-to-end; the CLI regenerates tables."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must produce output"
+
+
+def test_examples_cover_required_scenarios():
+    names = {path.name for path in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 3
+
+
+class TestExperimentsCLI:
+    def test_run_single_experiment(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "table1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "Table 1" in completed.stdout
+        assert "lazy slicing" in completed.stdout
+
+    def test_unknown_experiment_fails_with_listing(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "fig99"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert completed.returncode == 2
+        assert "fig8" in completed.stderr
+
+    def test_scaled_fig15(self):
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "fig15"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={"PATH": "/usr/bin:/bin", "REPRO_BENCH_SCALE": "0.2"},
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "Figure 15" in completed.stdout
+
+
+def test_package_quickstart_doctest():
+    import doctest
+
+    import repro
+
+    failures, _ = doctest.testmod(repro, verbose=False)
+    assert failures == 0

@@ -1,0 +1,181 @@
+"""Tests for the FlatFAT aggregate tree."""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flatfat import FlatFAT
+
+
+def naive_range(leaves, lo, hi):
+    slice_ = [x for x in leaves[lo:hi] if x is not None]
+    if not slice_:
+        return None
+    total = slice_[0]
+    for value in slice_[1:]:
+        total = total + value
+    return total
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = FlatFAT(operator.add)
+        assert len(tree) == 0
+        assert tree.root() is None
+
+    def test_from_leaves(self):
+        tree = FlatFAT(operator.add, [1, 2, 3])
+        assert len(tree) == 3
+        assert tree.root() == 6
+
+    def test_capacity_is_power_of_two(self):
+        tree = FlatFAT(operator.add, [1, 2, 3, 4, 5])
+        assert tree.capacity == 8
+
+    def test_leaves_roundtrip(self):
+        tree = FlatFAT(operator.add, [4, 5, 6])
+        assert tree.leaves() == [4, 5, 6]
+
+
+class TestUpdate:
+    def test_point_update(self):
+        tree = FlatFAT(operator.add, [1, 2, 3, 4])
+        tree.update(2, 30)
+        assert tree.root() == 37
+        assert tree.leaf(2) == 30
+
+    def test_update_to_none(self):
+        tree = FlatFAT(operator.add, [1, 2, 3])
+        tree.update(1, None)
+        assert tree.root() == 4
+
+    def test_update_out_of_range(self):
+        tree = FlatFAT(operator.add, [1])
+        with pytest.raises(IndexError):
+            tree.update(1, 5)
+
+
+class TestAppend:
+    def test_append_grows(self):
+        tree = FlatFAT(operator.add)
+        for value in range(10):
+            tree.append(value)
+        assert len(tree) == 10
+        assert tree.root() == sum(range(10))
+
+    def test_append_beyond_capacity(self):
+        tree = FlatFAT(operator.add, [1])
+        assert tree.capacity == 1
+        tree.append(2)
+        assert tree.capacity == 2
+        tree.append(3)
+        assert tree.capacity == 4
+        assert tree.root() == 6
+
+
+class TestInsertRemove:
+    def test_middle_insert(self):
+        tree = FlatFAT(operator.add, [1, 3])
+        tree.insert(1, 2)
+        assert tree.leaves() == [1, 2, 3]
+        assert tree.root() == 6
+
+    def test_insert_at_end_is_append(self):
+        tree = FlatFAT(operator.add, [1])
+        tree.insert(1, 2)
+        assert tree.leaves() == [1, 2]
+
+    def test_insert_invalid_index(self):
+        tree = FlatFAT(operator.add, [1])
+        with pytest.raises(IndexError):
+            tree.insert(5, 0)
+
+    def test_remove(self):
+        tree = FlatFAT(operator.add, [1, 2, 3])
+        assert tree.remove(1) == 2
+        assert tree.leaves() == [1, 3]
+        assert tree.root() == 4
+
+    def test_remove_front(self):
+        tree = FlatFAT(operator.add, list(range(10)))
+        tree.remove_front(4)
+        assert tree.leaves() == list(range(4, 10))
+        assert tree.root() == sum(range(4, 10))
+
+    def test_remove_front_all(self):
+        tree = FlatFAT(operator.add, [1, 2])
+        tree.remove_front(2)
+        assert len(tree) == 0
+        assert tree.root() is None
+
+    def test_remove_front_too_many(self):
+        tree = FlatFAT(operator.add, [1])
+        with pytest.raises(IndexError):
+            tree.remove_front(2)
+
+
+class TestQuery:
+    def test_full_range(self):
+        tree = FlatFAT(operator.add, list(range(1, 9)))
+        assert tree.query(0, 8) == 36
+
+    def test_subranges(self):
+        leaves = list(range(1, 12))
+        tree = FlatFAT(operator.add, leaves)
+        for lo in range(len(leaves)):
+            for hi in range(lo, len(leaves) + 1):
+                assert tree.query(lo, hi) == naive_range(leaves, lo, hi)
+
+    def test_empty_range(self):
+        tree = FlatFAT(operator.add, [1, 2])
+        assert tree.query(1, 1) is None
+
+    def test_out_of_bounds(self):
+        tree = FlatFAT(operator.add, [1, 2])
+        with pytest.raises(IndexError):
+            tree.query(0, 3)
+
+    def test_none_leaves_skipped(self):
+        tree = FlatFAT(operator.add, [1, None, 3])
+        assert tree.query(0, 3) == 4
+
+    def test_non_commutative_order_preserved(self):
+        concat = lambda a, b: a + b  # noqa: E731
+        tree = FlatFAT(concat, ["a", "b", "c", "d", "e"])
+        assert tree.query(1, 4) == "bcd"
+        assert tree.query(0, 5) == "abcde"
+
+
+@given(
+    leaves=st.lists(st.integers(-100, 100), min_size=0, max_size=64),
+    operations=st.lists(
+        st.tuples(st.sampled_from(["append", "update", "insert", "remove"]), st.integers(0, 63), st.integers(-100, 100)),
+        max_size=30,
+    ),
+)
+@settings(max_examples=60)
+def test_flatfat_matches_naive_model(leaves, operations):
+    """Random op sequences keep FlatFAT consistent with a plain list."""
+    tree = FlatFAT(operator.add, leaves)
+    model = list(leaves)
+    for name, index, value in operations:
+        if name == "append":
+            tree.append(value)
+            model.append(value)
+        elif name == "update" and model:
+            position = index % len(model)
+            tree.update(position, value)
+            model[position] = value
+        elif name == "insert":
+            position = index % (len(model) + 1)
+            tree.insert(position, value)
+            model.insert(position, value)
+        elif name == "remove" and model:
+            position = index % len(model)
+            assert tree.remove(position) == model.pop(position)
+    assert tree.leaves() == model
+    assert tree.root() == (sum(model) if model else None)
+    if len(model) >= 2:
+        assert tree.query(1, len(model)) == sum(model[1:])

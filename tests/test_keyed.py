@@ -1,0 +1,118 @@
+"""Tests for keyed window aggregation and measure injection."""
+
+import pytest
+
+from conftest import run_operator
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Sum
+from repro.runtime import KeyedWindowOperator
+from repro.windows import SessionWindow, TumblingWindow
+
+
+def slicing_factory():
+    operator = GeneralSlicingOperator(stream_in_order=True)
+    operator.add_query(TumblingWindow(10), Sum())
+    return operator
+
+
+class TestKeyedOperator:
+    def test_state_isolated_per_key(self):
+        keyed = KeyedWindowOperator(slicing_factory)
+        stream = [Record(t, 1.0, key=t % 2) for t in range(24)]
+        results = run_operator(keyed, stream)
+        by_key = {}
+        for result in results:
+            by_key.setdefault(result.key, []).append(result)
+        # Each key saw every other record: windows of 5 each.
+        assert {r.value for r in by_key[0]} == {5.0}
+        assert {r.value for r in by_key[1]} == {5.0}
+
+    def test_results_tagged_with_key(self):
+        keyed = KeyedWindowOperator(slicing_factory)
+        results = run_operator(keyed, [Record(t, 1.0, key="a") for t in range(12)])
+        assert all(result.key == "a" for result in results)
+
+    def test_watermark_broadcast_to_all_keys(self):
+        keyed = KeyedWindowOperator(slicing_factory)
+        run_operator(
+            keyed, [Record(1, 1.0, key="x"), Record(2, 2.0, key="y")]
+        )
+        results = keyed.process(Watermark(100))
+        assert {result.key for result in results} == {"x", "y"}
+
+    def test_lazy_key_creation(self):
+        keyed = KeyedWindowOperator(slicing_factory)
+        assert keyed.keys == []
+        keyed.process(Record(0, 1.0, key=7))
+        assert keyed.keys == [7]
+
+    def test_sessions_per_key(self):
+        def session_factory():
+            operator = GeneralSlicingOperator(stream_in_order=True)
+            operator.add_query(SessionWindow(5), Sum())
+            return operator
+
+        keyed = KeyedWindowOperator(session_factory)
+        stream = [
+            Record(0, 1.0, key="a"),
+            Record(2, 1.0, key="b"),
+            Record(20, 1.0, key="a"),  # key a: gap -> two sessions
+            Record(4, 0.0, key="b"),
+        ]
+        results = run_operator(keyed, stream)
+        results.extend(keyed.process(Watermark(100)))
+        a_sessions = [(r.start, r.end) for r in results if r.key == "a"]
+        b_sessions = [(r.start, r.end) for r in results if r.key == "b"]
+        assert a_sessions == [(0, 5), (20, 25)]
+        assert b_sessions == [(2, 9)]
+
+    def test_state_objects_aggregate_keys(self):
+        keyed = KeyedWindowOperator(slicing_factory)
+        run_operator(keyed, [Record(0, 1.0, key=0), Record(0, 1.0, key=1)])
+        assert len(keyed.state_objects()) >= 2
+
+
+class TestMeasureInjection:
+    def test_windows_on_attribute_measure(self):
+        # Records carry (odometer_km, fuel_used); window fuel by 100 km.
+        op = GeneralSlicingOperator(
+            stream_in_order=True,
+            timestamp_of=lambda record: int(record.value[0]),
+        )
+        op.add_query(TumblingWindow(100), _FuelSum())
+        readings = [
+            Record(0, (10, 1.0)),
+            Record(1, (60, 2.0)),
+            Record(2, (140, 3.0)),
+            Record(3, (220, 4.0)),
+        ]
+        results = op.run(readings)
+        assert [(r.start, r.end, r.value) for r in results] == [
+            (0, 100, 3.0),
+            (100, 200, 3.0),
+        ]
+
+    def test_injected_measure_defines_order(self):
+        # Arrival order differs from measure order: declared out-of-order.
+        op = GeneralSlicingOperator(
+            stream_in_order=False,
+            allowed_lateness=1000,
+            timestamp_of=lambda record: int(record.value[0]),
+        )
+        op.add_query(TumblingWindow(100), _FuelSum())
+        readings = [
+            Record(0, (10, 1.0)),
+            Record(1, (140, 3.0)),
+            Record(2, (60, 2.0)),  # out-of-order in the km measure
+        ]
+        out = op.run(readings)
+        out.extend(op.process(Watermark(1000)))
+        final = {(r.start, r.end): r.value for r in out}
+        assert final[(0, 100)] == 3.0
+
+
+class _FuelSum(Sum):
+    """Sum over the fuel component of (odometer, fuel) payloads."""
+
+    def lift(self, value):
+        return value[1]

@@ -1,0 +1,81 @@
+"""Tests for windowing measures (repro.core.measures)."""
+
+import pytest
+
+from repro.core.measures import (
+    AttributeMeasure,
+    CountMeasure,
+    EventTimeMeasure,
+    MeasureKind,
+    MeasureVector,
+    ProcessingTimeMeasure,
+)
+from repro.core.types import Record
+
+
+class TestEventTime:
+    def test_reads_record_ts(self):
+        assert EventTimeMeasure().timestamp(Record(42, 0)) == 42
+
+    def test_kind(self):
+        assert EventTimeMeasure.kind is MeasureKind.TIME
+
+
+class TestProcessingTime:
+    def test_uses_injected_clock(self):
+        ticks = iter([100, 200])
+        measure = ProcessingTimeMeasure(clock=lambda: next(ticks))
+        assert measure.timestamp(Record(1, 0)) == 100
+        assert measure.timestamp(Record(1, 0)) == 200
+
+    def test_default_clock_monotone(self):
+        measure = ProcessingTimeMeasure()
+        first = measure.timestamp(Record(0, 0))
+        second = measure.timestamp(Record(0, 0))
+        assert second >= first
+
+
+class TestAttributeMeasure:
+    def test_extracts_attribute(self):
+        measure = AttributeMeasure(lambda record: int(record.value * 10), name="km")
+        assert measure.timestamp(Record(0, 3.5)) == 35
+
+    def test_kind_is_time_like(self):
+        # Arbitrary advancing measures process identically to event-time.
+        measure = AttributeMeasure(lambda r: 0)
+        assert measure.kind is MeasureKind.TIME
+
+
+class TestCountMeasure:
+    def test_counts_arrivals(self):
+        measure = CountMeasure()
+        assert measure.timestamp(Record(10, 0)) == 0
+        assert measure.timestamp(Record(5, 0)) == 1
+        assert measure.arrived == 2
+
+    def test_reset(self):
+        measure = CountMeasure()
+        measure.timestamp(Record(0, 0))
+        measure.reset()
+        assert measure.arrived == 0
+        assert measure.timestamp(Record(0, 0)) == 0
+
+    def test_kind(self):
+        assert CountMeasure.kind is MeasureKind.COUNT
+
+
+class TestMeasureVector:
+    def test_components(self):
+        vector = MeasureVector(ts=100, count=7)
+        assert vector.component(MeasureKind.TIME) == 100
+        assert vector.component(MeasureKind.COUNT) == 7
+
+    def test_ordering_by_ts_then_count(self):
+        assert MeasureVector(1, 5) < MeasureVector(2, 0)
+        assert MeasureVector(1, 1) < MeasureVector(1, 2)
+        assert not MeasureVector(2, 0) < MeasureVector(1, 5)
+
+    def test_equality_and_hash(self):
+        assert MeasureVector(1, 2) == MeasureVector(1, 2)
+        assert MeasureVector(1, 2) != MeasureVector(1, 3)
+        assert len({MeasureVector(1, 2), MeasureVector(1, 2)}) == 1

@@ -1,0 +1,142 @@
+"""Tests for the operator's runtime adaptivity (Section 5, overview).
+
+Workload characteristics are re-derived whenever queries are added or
+removed -- never on data changes -- and the storage strategy follows
+the Figure 4 decision tree.
+"""
+
+import pytest
+
+from conftest import run_operator
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import M4, Median, Sum
+from repro.core.measures import MeasureKind
+from repro.windows import (
+    CountTumblingWindow,
+    LastNEveryWindow,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+)
+
+
+class TestStorageAdaptivity:
+    def test_cf_commutative_ooo_drops_records(self):
+        op = GeneralSlicingOperator(stream_in_order=False)
+        op.add_query(TumblingWindow(10), Sum())
+        assert not op.stores_records
+
+    def test_adding_holistic_query_switches_to_records(self):
+        op = GeneralSlicingOperator(stream_in_order=False)
+        op.add_query(TumblingWindow(10), Sum())
+        assert not op.stores_records
+        op.add_query(TumblingWindow(20), Median())
+        assert op.stores_records
+
+    def test_removing_demanding_query_drops_requirement(self):
+        op = GeneralSlicingOperator(stream_in_order=False)
+        op.add_query(TumblingWindow(10), Sum())
+        demanding = op.add_query(TumblingWindow(20), Median())
+        assert op.stores_records
+        op.remove_query(demanding.query_id)
+        assert not op.stores_records
+
+    def test_noncommutative_matters_only_out_of_order(self):
+        in_order = GeneralSlicingOperator(stream_in_order=True)
+        in_order.add_query(TumblingWindow(10), M4())
+        assert not in_order.stores_records
+        ooo = GeneralSlicingOperator(stream_in_order=False)
+        ooo.add_query(TumblingWindow(10), M4())
+        assert ooo.stores_records
+
+
+class TestChainManagement:
+    def test_time_and_count_chains_created(self):
+        op = GeneralSlicingOperator(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Sum())
+        op.add_query(CountTumblingWindow(5), Sum())
+        assert set(op.characteristics) == {MeasureKind.TIME, MeasureKind.COUNT}
+
+    def test_single_chain_for_time_only(self):
+        op = GeneralSlicingOperator(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Sum())
+        op.add_query(SlidingWindow(20, 5), Sum())
+        assert set(op.characteristics) == {MeasureKind.TIME}
+
+    def test_lastn_lives_in_count_chain(self):
+        op = GeneralSlicingOperator(stream_in_order=True)
+        op.add_query(LastNEveryWindow(5, 10), Sum())
+        assert set(op.characteristics) == {MeasureKind.COUNT}
+
+    def test_unchanged_chain_preserved_on_add(self):
+        op = GeneralSlicingOperator(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Sum())
+        chain_before = op._chains[MeasureKind.TIME]
+        op.add_query(CountTumblingWindow(5), Sum())
+        assert op._chains[MeasureKind.TIME] is chain_before
+
+
+class TestQueriesAddedMidStream:
+    def test_new_query_sees_future_windows(self):
+        op = GeneralSlicingOperator(stream_in_order=True)
+        first = op.add_query(TumblingWindow(10), Sum())
+        run_operator(op, [Record(t, 1.0) for t in range(15)])
+        second = op.add_query(TumblingWindow(5), Sum())
+        results = run_operator(op, [Record(t, 1.0) for t in range(15, 31)])
+        by_query = {}
+        for result in results:
+            by_query.setdefault(result.query_id, []).append(result)
+        assert any(r.end == 30 for r in by_query[first.query_id])
+        assert any(r.end >= 25 for r in by_query[second.query_id])
+
+    def test_removed_query_stops_emitting(self):
+        op = GeneralSlicingOperator(stream_in_order=True)
+        keep = op.add_query(TumblingWindow(10), Sum())
+        drop = op.add_query(TumblingWindow(5), Sum())
+        run_operator(op, [Record(t, 1.0) for t in range(12)])
+        op.remove_query(drop.query_id)
+        results = run_operator(op, [Record(t, 1.0) for t in range(12, 40)])
+        assert all(r.query_id == keep.query_id for r in results)
+
+    def test_remove_unknown_query_is_noop(self):
+        op = GeneralSlicingOperator(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Sum())
+        op.remove_query(999)
+        assert len(op.queries) == 1
+
+
+class TestCharacteristicsExposure:
+    def test_characteristics_reflect_sessions(self):
+        op = GeneralSlicingOperator(stream_in_order=False)
+        op.add_query(SessionWindow(100), Sum())
+        chars = op.characteristics[MeasureKind.TIME]
+        assert chars.has_sessions
+        assert not chars.store_tuples
+
+    def test_repr_mentions_mode(self):
+        op = GeneralSlicingOperator(stream_in_order=True, eager=True)
+        assert "eager" in repr(op)
+        assert "in-order" in repr(op)
+
+
+class TestSharingAblationKnob:
+    def test_per_query_partials_still_correct(self):
+        from conftest import final_values
+        from repro.reference import reference_results
+
+        stream = [Record(t, float(t % 5)) for t in range(0, 60, 2)]
+        queries = [(TumblingWindow(10), Sum()), (TumblingWindow(20), Sum())]
+        operator = GeneralSlicingOperator(stream_in_order=True, share_aggregates=False)
+        for window, fn in queries:
+            operator.add_query(window, fn)
+        final = final_values(operator, stream + [Watermark(10_000)])
+        assert final == reference_results(queries, stream, horizon=10_000)
+
+    def test_partial_counts_differ(self):
+        shared = GeneralSlicingOperator(stream_in_order=True)
+        unshared = GeneralSlicingOperator(stream_in_order=True, share_aggregates=False)
+        for operator in (shared, unshared):
+            operator.add_query(TumblingWindow(10), Sum())
+            operator.add_query(TumblingWindow(20), Sum())
+        assert len(shared._chains[MeasureKind.TIME].functions) == 1
+        assert len(unshared._chains[MeasureKind.TIME].functions) == 2

@@ -1,0 +1,162 @@
+"""Property-based end-to-end tests: slicing vs the brute-force oracle.
+
+Hypothesis generates random streams (timestamps, values, disorder) and
+random window parameters; the general slicing operator's final results
+must match the reference semantics computed from the complete stream.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import final_values
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Average, Max, Median, Min, Sum
+from repro.reference import reference_results
+from repro.windows import (
+    CountTumblingWindow,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+)
+
+HORIZON = 100_000
+
+
+@st.composite
+def streams(draw, max_size=60, max_ts=200):
+    """An arrival-ordered stream with arbitrary (possibly late) records."""
+    n = draw(st.integers(1, max_size))
+    timestamps = draw(
+        st.lists(st.integers(0, max_ts), min_size=n, max_size=n)
+    )
+    values = draw(
+        st.lists(st.integers(-50, 50).map(float), min_size=n, max_size=n)
+    )
+    disorder = draw(st.floats(0.0, 1.0))
+    records = [Record(ts, value) for ts, value in zip(timestamps, values)]
+    if disorder < 0.5:
+        records.sort(key=lambda record: record.ts)  # mostly in-order cases
+    return records
+
+
+def run_and_compare(queries, records, eager=False):
+    op = GeneralSlicingOperator(
+        stream_in_order=False, eager=eager, allowed_lateness=HORIZON
+    )
+    for window, fn in queries:
+        op.add_query(window, fn)
+    final = final_values(op, list(records) + [Watermark(HORIZON)])
+    expected = reference_results(queries, records, horizon=HORIZON)
+    assert final == expected
+
+
+@given(records=streams(), length=st.integers(1, 40))
+@settings(max_examples=60, deadline=None)
+def test_tumbling_sum_matches_oracle(records, length):
+    run_and_compare([(TumblingWindow(length), Sum())], records)
+
+
+@given(
+    records=streams(),
+    length=st.integers(2, 40),
+    slide=st.integers(1, 20),
+)
+@settings(max_examples=60, deadline=None)
+def test_sliding_min_matches_oracle(records, length, slide):
+    run_and_compare([(SlidingWindow(length, slide), Min())], records)
+
+
+@given(records=streams(), gap=st.integers(1, 30))
+@settings(max_examples=60, deadline=None)
+def test_session_sum_matches_oracle(records, gap):
+    run_and_compare([(SessionWindow(gap), Sum())], records)
+
+
+@given(records=streams(max_size=40), length=st.integers(1, 10))
+@settings(max_examples=60, deadline=None)
+def test_count_tumbling_matches_oracle(records, length):
+    run_and_compare([(CountTumblingWindow(length), Sum())], records)
+
+
+@given(records=streams(), length=st.integers(1, 30))
+@settings(max_examples=40, deadline=None)
+def test_median_matches_oracle(records, length):
+    run_and_compare([(TumblingWindow(length), Median())], records)
+
+
+@given(
+    records=streams(max_size=40),
+    length_a=st.integers(1, 20),
+    length_b=st.integers(2, 30),
+    slide=st.integers(1, 10),
+    gap=st.integers(1, 20),
+)
+@settings(max_examples=40, deadline=None)
+def test_mixed_query_set_matches_oracle(records, length_a, length_b, slide, gap):
+    queries = [
+        (TumblingWindow(length_a), Sum()),
+        (SlidingWindow(length_b, slide), Max()),
+        (SessionWindow(gap), Average()),
+    ]
+    run_and_compare(queries, records)
+
+
+@given(records=streams(max_size=40), length=st.integers(1, 20))
+@settings(max_examples=30, deadline=None)
+def test_eager_equals_lazy_on_random_streams(records, length):
+    queries = [(TumblingWindow(length), Sum()), (SessionWindow(7), Sum())]
+    lazy = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=HORIZON)
+    eager = GeneralSlicingOperator(
+        stream_in_order=False, eager=True, allowed_lateness=HORIZON
+    )
+    for window, fn in queries:
+        lazy.add_query(type(window)(length) if isinstance(window, TumblingWindow) else SessionWindow(window.gap), fn)
+        eager.add_query(type(window)(length) if isinstance(window, TumblingWindow) else SessionWindow(window.gap), fn)
+    stream = list(records) + [Watermark(HORIZON)]
+    assert final_values(lazy, stream) == final_values(eager, stream)
+
+
+@given(records=streams(max_size=50))
+@settings(max_examples=40, deadline=None)
+def test_slice_invariants_hold(records):
+    """Structural invariants: ordered, non-overlapping slices; counts add up."""
+    op = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=HORIZON)
+    op.add_query(TumblingWindow(13), Sum())
+    op.add_query(SessionWindow(5), Sum())
+    for record in records:
+        op.process(record)
+    for chain in op._chains.values():
+        slices = chain.store.slices
+        for left, right in zip(slices, slices[1:]):
+            assert left.end is not None
+            assert left.start < left.end <= right.start
+        assert sum(s.record_count for s in slices) == len(records)
+        for slice_ in slices:
+            if slice_.record_count:
+                assert slice_.first_ts is not None and slice_.last_ts is not None
+                assert slice_.covers(slice_.first_ts)
+
+
+@given(
+    records=streams(max_size=40),
+    time_length=st.integers(2, 30),
+    count_length=st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_mixed_measures_under_disorder(records, time_length, count_length):
+    """Time-chain and count-chain queries coexist on one operator."""
+    queries = [
+        (TumblingWindow(time_length), Sum()),
+        (CountTumblingWindow(count_length), Sum()),
+    ]
+    run_and_compare(queries, records)
+
+
+@given(records=streams(max_size=40), gap=st.integers(1, 20), length=st.integers(1, 6))
+@settings(max_examples=40, deadline=None)
+def test_sessions_and_count_windows_together(records, gap, length):
+    queries = [
+        (SessionWindow(gap), Sum()),
+        (CountTumblingWindow(length), Min()),
+    ]
+    run_and_compare(queries, records)

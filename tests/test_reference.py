@@ -1,0 +1,114 @@
+"""Tests for the brute-force reference oracle itself."""
+
+import pytest
+
+from repro.aggregations import Average, Sum
+from repro.core.types import Punctuation, Record
+from repro.reference import reference_results, reference_windows
+from repro.windows import (
+    CountTumblingWindow,
+    LastNEveryWindow,
+    PunctuationWindow,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+)
+
+
+class TestTimeWindows:
+    def test_tumbling_contents(self):
+        records = [Record(t, 1.0) for t in range(25)]
+        windows = reference_windows(TumblingWindow(10), records)
+        assert [(s, e, len(rs)) for s, e, rs in windows] == [
+            (0, 10, 10),
+            (10, 20, 10),
+        ]
+
+    def test_horizon_extends_coverage(self):
+        records = [Record(t, 1.0) for t in range(25)]
+        windows = reference_windows(TumblingWindow(10), records, horizon=100)
+        assert [(s, e) for s, e, _ in windows] == [(0, 10), (10, 20), (20, 30)]
+
+    def test_empty_windows_skipped(self):
+        records = [Record(5, 1.0), Record(35, 1.0)]
+        windows = reference_windows(TumblingWindow(10), records, horizon=50)
+        assert [(s, e) for s, e, _ in windows] == [(0, 10), (30, 40)]
+
+    def test_sliding_overlap(self):
+        records = [Record(t, 1.0) for t in range(20)]
+        windows = reference_windows(SlidingWindow(10, 5), records)
+        # Default horizon is max_ts + 1 = 20, so (10, 20) is included.
+        assert [(s, e) for s, e, _ in windows] == [(0, 10), (5, 15), (10, 20)]
+
+    def test_empty_stream(self):
+        assert reference_windows(TumblingWindow(10), []) == []
+
+
+class TestSessionWindows:
+    def test_session_grouping(self):
+        records = [Record(t, 1.0) for t in [1, 2, 3, 20, 21, 40]]
+        windows = reference_windows(SessionWindow(5), records, horizon=100)
+        assert [(s, e) for s, e, _ in windows] == [(1, 8), (20, 26), (40, 45)]
+
+    def test_exact_gap_separates(self):
+        records = [Record(0, 1.0), Record(5, 1.0)]
+        windows = reference_windows(SessionWindow(5), records, horizon=100)
+        assert [(s, e) for s, e, _ in windows] == [(0, 5), (5, 10)]
+
+    def test_unfinished_session_beyond_horizon_skipped(self):
+        records = [Record(0, 1.0)]
+        assert reference_windows(SessionWindow(5), records, horizon=3) == []
+
+
+class TestCountWindows:
+    def test_count_positions_by_event_time(self):
+        # Arrival order scrambled; count positions follow event-time.
+        records = [Record(4, 40.0), Record(0, 0.0), Record(2, 20.0), Record(6, 60.0)]
+        windows = reference_windows(CountTumblingWindow(2), records, horizon=100)
+        assert [[r.value for r in rs] for _, _, rs in windows] == [
+            [0.0, 20.0],
+            [40.0, 60.0],
+        ]
+
+    def test_tie_break_by_arrival(self):
+        records = [Record(0, 1.0), Record(0, 2.0), Record(0, 3.0)]
+        windows = reference_windows(CountTumblingWindow(3), records, horizon=100)
+        assert [r.value for r in windows[0][2]] == [1.0, 2.0, 3.0]
+
+
+class TestPunctuationWindows:
+    def test_windows_between_punctuations(self):
+        elements = [
+            Record(1, 1.0),
+            Punctuation(5),
+            Record(7, 1.0),
+            Punctuation(9),
+        ]
+        windows = reference_windows(PunctuationWindow(), elements, horizon=100)
+        assert [(s, e) for s, e, _ in windows] == [(0, 5), (5, 9)]
+
+
+class TestMultiMeasure:
+    def test_last_n_every(self):
+        records = [Record(t, 1.0) for t in range(0, 25, 2)]
+        windows = reference_windows(
+            LastNEveryWindow(count=3, every=10), records, horizon=24
+        )
+        assert [(s, e) for s, e, _ in windows] == [(2, 5), (7, 10)]
+
+
+class TestReferenceResults:
+    def test_values_lowered(self):
+        records = [Record(t, float(t)) for t in range(10)]
+        expected = reference_results([(TumblingWindow(5), Average())], records, horizon=10)
+        assert expected == {(0, 0, 5): 2.0, (0, 5, 10): 7.0}
+
+    def test_query_indices(self):
+        records = [Record(t, 1.0) for t in range(10)]
+        expected = reference_results(
+            [(TumblingWindow(5), Sum()), (TumblingWindow(10), Sum())],
+            records,
+            horizon=10,
+        )
+        assert (0, 0, 5) in expected
+        assert (1, 0, 10) in expected

@@ -1,0 +1,268 @@
+"""Tests for the runtime substrate: disorder, metrics, pipeline, partition."""
+
+import pytest
+
+from repro.core.types import Record, Watermark
+from repro.runtime import (
+    CollectSink,
+    CountingSink,
+    FilterOperator,
+    GeneratorSource,
+    LatencyHarness,
+    ListSource,
+    MapOperator,
+    PartitionedExecutor,
+    Pipeline,
+    ThroughputResult,
+    deep_sizeof,
+    disorder_fraction,
+    hash_partition,
+    inject_disorder,
+    measure_throughput,
+    paced_replay,
+    with_watermarks,
+)
+
+
+class TestInjectDisorder:
+    def _base(self, n=200):
+        return [Record(ts, float(ts)) for ts in range(n)]
+
+    def test_zero_fraction_keeps_order(self):
+        stream = inject_disorder(self._base(), 0.0, 10)
+        assert [r.ts for r in stream] == list(range(200))
+
+    def test_event_times_preserved(self):
+        stream = inject_disorder(self._base(), 0.5, 20, seed=1)
+        assert sorted(r.ts for r in stream) == list(range(200))
+
+    def test_fraction_roughly_respected(self):
+        stream = inject_disorder(self._base(1000), 0.3, 50, seed=2)
+        measured = disorder_fraction(stream)
+        assert 0.1 < measured < 0.5
+
+    def test_delays_bounded(self):
+        stream = inject_disorder(self._base(500), 0.4, 10, seed=3)
+        max_seen = -1
+        for record in stream:
+            if record.ts < max_seen:
+                assert max_seen - record.ts <= 10 + 1
+            max_seen = max(max_seen, record.ts)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            inject_disorder(self._base(), 1.5, 10)
+
+    def test_invalid_delay_range(self):
+        with pytest.raises(ValueError):
+            inject_disorder(self._base(), 0.5, 5, min_delay=10)
+
+    def test_deterministic_given_seed(self):
+        a = inject_disorder(self._base(), 0.4, 10, seed=5)
+        b = inject_disorder(self._base(), 0.4, 10, seed=5)
+        assert [r.ts for r in a] == [r.ts for r in b]
+
+
+class TestWithWatermarks:
+    def test_watermarks_trail_max_ts(self):
+        records = [Record(ts, 0.0) for ts in range(0, 100, 10)]
+        elements = list(with_watermarks(records, interval=20, max_delay=5))
+        watermarks = [e for e in elements if isinstance(e, Watermark)]
+        assert watermarks
+        max_seen = None
+        for element in elements:
+            if isinstance(element, Record):
+                max_seen = element.ts if max_seen is None else max(max_seen, element.ts)
+            else:
+                assert element.ts <= max_seen - 5 or element is elements[-1]
+
+    def test_final_watermark_flushes(self):
+        records = [Record(5, 0.0)]
+        elements = list(with_watermarks(records, interval=10, max_delay=2))
+        assert isinstance(elements[-1], Watermark)
+        assert elements[-1].ts > 5
+
+    def test_no_final_when_disabled(self):
+        records = [Record(5, 0.0)]
+        elements = list(with_watermarks(records, interval=100, max_delay=0, final=False))
+        assert all(not isinstance(e, Watermark) or e.ts <= 5 for e in elements)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            list(with_watermarks([], interval=0))
+
+
+class TestDisorderFraction:
+    def test_in_order(self):
+        assert disorder_fraction([Record(t, 0) for t in range(5)]) == 0.0
+
+    def test_all_late(self):
+        assert disorder_fraction([Record(5, 0), Record(1, 0), Record(0, 0)]) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert disorder_fraction([]) == 0.0
+
+
+class TestMetrics:
+    def test_measure_throughput_counts_records(self):
+        from repro import GeneralSlicingOperator
+        from repro.aggregations import Sum
+        from repro.windows import TumblingWindow
+
+        op = GeneralSlicingOperator(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Sum())
+        stream = [Record(ts, 1.0) for ts in range(100)]
+        outcome = measure_throughput(op, stream)
+        assert outcome.records == 100
+        assert outcome.records_per_second > 0
+        assert outcome.results_emitted == 9
+
+    def test_throughput_result_repr(self):
+        result = ThroughputResult(1000, 0.5, 10)
+        assert result.records_per_second == 2000
+
+    def test_latency_harness_measures(self):
+        harness = LatencyHarness(warmup=2, iterations=20)
+        stats = harness.measure(lambda: sum(range(100)))
+        assert stats.p50 > 0
+        assert stats.minimum <= stats.p50 <= stats.p99
+        assert len(stats.samples) == 20
+
+    def test_latency_compare(self):
+        harness = LatencyHarness(warmup=1, iterations=5)
+        out = harness.compare({"a": lambda: 1, "b": lambda: 2})
+        assert set(out) == {"a", "b"}
+
+    def test_latency_harness_validation(self):
+        with pytest.raises(ValueError):
+            LatencyHarness(warmup=-1)
+        with pytest.raises(ValueError):
+            LatencyHarness(iterations=0)
+
+
+class TestPipeline:
+    def _operator(self):
+        from repro import GeneralSlicingOperator
+        from repro.aggregations import Sum
+        from repro.windows import TumblingWindow
+
+        op = GeneralSlicingOperator(stream_in_order=True)
+        op.add_query(TumblingWindow(10), Sum())
+        return op
+
+    def test_collect_sink(self):
+        pipeline = Pipeline(self._operator(), CollectSink())
+        pipeline.run([Record(ts, 1.0) for ts in range(25)])
+        assert [(r.start, r.end) for r in pipeline.results()] == [(0, 10), (10, 20)]
+
+    def test_map_stage(self):
+        pipeline = Pipeline(self._operator(), CollectSink())
+        pipeline.add_stage(MapOperator(lambda r: Record(r.ts, r.value * 2)))
+        pipeline.run([Record(ts, 1.0) for ts in range(12)])
+        assert pipeline.results()[0].value == 20.0
+
+    def test_filter_stage(self):
+        pipeline = Pipeline(self._operator(), CollectSink())
+        pipeline.add_stage(FilterOperator(lambda r: r.ts % 2 == 0))
+        pipeline.run([Record(ts, 1.0) for ts in range(13)])
+        assert pipeline.results()[0].value == 5.0
+
+    def test_counting_sink(self):
+        sink = CountingSink()
+        pipeline = Pipeline(self._operator(), sink)
+        pipeline.run([Record(ts, 1.0) for ts in range(25)])
+        assert sink.count == 2
+
+    def test_results_requires_collect_sink(self):
+        pipeline = Pipeline(self._operator(), CountingSink())
+        with pytest.raises(TypeError):
+            pipeline.results()
+
+
+class TestPartition:
+    def test_hash_partition_routes_by_key(self):
+        elements = [Record(t, 1.0, key=t % 3) for t in range(30)]
+        partitions = hash_partition(elements, 3)
+        assert sum(len(p) for p in partitions) == 30
+        for partition in partitions:
+            keys = {e.key for e in partition}
+            assert len(keys) <= 2  # hash may collide but stays consistent
+
+    def test_watermarks_broadcast(self):
+        elements = [Record(0, 1.0, key=1), Watermark(5), Record(6, 1.0, key=2)]
+        partitions = hash_partition(elements, 2)
+        for partition in partitions:
+            assert any(isinstance(e, Watermark) for e in partition)
+
+    def test_keyless_round_robin(self):
+        elements = [Record(t, 1.0) for t in range(10)]
+        partitions = hash_partition(elements, 2)
+        assert len(partitions[0]) == len(partitions[1]) == 5
+
+    def test_invalid_parallelism(self):
+        with pytest.raises(ValueError):
+            hash_partition([], 0)
+
+    def test_partitioned_executor_results_complete(self):
+        from repro import GeneralSlicingOperator
+        from repro.aggregations import Sum
+        from repro.windows import TumblingWindow
+
+        def factory():
+            op = GeneralSlicingOperator(stream_in_order=True)
+            op.add_query(TumblingWindow(10), Sum())
+            return op
+
+        elements = [Record(t, 1.0, key=t % 4) for t in range(40)]
+        executor = PartitionedExecutor(factory, 4)
+        output = executor.run(elements)
+        assert set(output) == {0, 1, 2, 3}
+        total = sum(r.value for results in output.values() for r in results)
+        # Windows [0,10), [10,20), [20,30) complete in every partition.
+        assert total == 30.0
+
+
+class TestSources:
+    def test_list_source_repeatable(self):
+        source = ListSource([Record(0, 1.0), Watermark(5)])
+        assert len(list(source)) == 2
+        assert len(list(source)) == 2
+        assert len(source.records()) == 1
+
+    def test_generator_source_restartable(self):
+        source = GeneratorSource(lambda: (Record(t, 0.0) for t in range(3)))
+        assert len(list(source)) == 3
+        assert len(list(source)) == 3
+
+    def test_paced_replay_sleeps_by_event_gap(self):
+        sleeps = []
+        fake_now = [0.0]
+
+        def clock():
+            return fake_now[0]
+
+        def sleep(duration):
+            sleeps.append(duration)
+            fake_now[0] += duration
+
+        records = [Record(0, 0.0), Record(100, 0.0), Record(150, 0.0)]
+        list(paced_replay(records, speedup=1.0, clock=clock, sleep=sleep))
+        assert sleeps == pytest.approx([0.1, 0.05])
+
+    def test_paced_replay_speedup(self):
+        sleeps = []
+        fake_now = [0.0]
+        records = [Record(0, 0.0), Record(100, 0.0)]
+        list(
+            paced_replay(
+                records,
+                speedup=2.0,
+                clock=lambda: fake_now[0],
+                sleep=lambda d: sleeps.append(d) or fake_now.__setitem__(0, fake_now[0] + d),
+            )
+        )
+        assert sleeps == pytest.approx([0.05])
+
+    def test_paced_replay_invalid_speedup(self):
+        with pytest.raises(ValueError):
+            list(paced_replay([], speedup=0))

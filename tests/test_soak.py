@@ -1,0 +1,154 @@
+"""Soak tests: long streams, structural invariants, bounded state.
+
+These complement the oracle-based tests: instead of verifying every
+output value (too slow at this scale), they run large mixed workloads
+and assert the invariants that keep the operator healthy over time --
+bounded state under eviction, slice-chain well-formedness, conservation
+of records, and output sanity.
+"""
+
+import random
+
+import pytest
+
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Average, Max, Median, Sum
+from repro.core.measures import MeasureKind
+from repro.windows import (
+    CountTumblingWindow,
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+)
+
+
+def check_chain_invariants(operator):
+    """Slices ordered, non-overlapping; metadata consistent."""
+    for chain in operator._chains.values():
+        slices = chain.store.slices
+        for left, right in zip(slices, slices[1:]):
+            assert left.end is not None, "only the head may be open"
+            assert left.start < left.end <= right.start
+        for slice_ in slices:
+            if slice_.record_count == 0:
+                assert slice_.first_ts is None and slice_.last_ts is None
+            else:
+                assert slice_.first_ts is not None and slice_.last_ts is not None
+                assert slice_.first_ts <= slice_.last_ts
+                if slice_.records is not None:
+                    assert len(slice_.records) == slice_.record_count
+                    timestamps = [record.ts for record in slice_.records]
+                    assert timestamps == sorted(timestamps)
+
+
+class TestLongRunningMixedWorkload:
+    def test_100k_records_with_disorder_and_eviction(self):
+        rng = random.Random(17)
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=500)
+        operator.add_query(TumblingWindow(100), Sum())
+        operator.add_query(SlidingWindow(300, 100), Max())
+        operator.add_query(SessionWindow(40), Average())
+
+        emitted = 0
+        updates = 0
+        pending = []
+        max_ts = 0
+        ts = 0
+        for step in range(100_000):
+            # Mostly dense traffic with periodic quiet spells so sessions
+            # close (an endless session legitimately pins eviction).
+            ts += 1 if step % 400 else 80
+            if rng.random() < 0.15:
+                pending.append(Record(ts, float(ts % 13)))
+            else:
+                for result in operator.process(Record(ts, float(ts % 13))):
+                    emitted += 1
+                    updates += result.is_update
+            if pending and rng.random() < 0.2:
+                record = pending.pop(rng.randrange(len(pending)))
+                for result in operator.process(record):
+                    emitted += 1
+                    updates += result.is_update
+            max_ts = ts
+            if step % 500 == 499:
+                for result in operator.process(Watermark(max_ts - 300)):
+                    emitted += 1
+            if step % 20_000 == 19_999:
+                check_chain_invariants(operator)
+
+        # Eviction must have kept the slice chain bounded: with a 100-unit
+        # tumbling grid and ~1100 units of retention, a few dozen slices.
+        assert operator.total_slices() < 200
+        assert emitted > 900  # ~1000 tumbling windows alone
+        check_chain_invariants(operator)
+
+    def test_count_chain_soak(self):
+        rng = random.Random(23)
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=2_000)
+        operator.add_query(CountTumblingWindow(500), Sum())
+
+        pending = []
+        emitted_values = []
+        for step in range(40_000):
+            record = Record(step, 1.0)
+            if rng.random() < 0.1:
+                pending.append(record)
+            else:
+                emitted_values.extend(
+                    r.value for r in operator.process(record) if not r.is_update
+                )
+            if pending and rng.random() < 0.15:
+                operator.process(pending.pop(0))
+            if step % 1_000 == 999:
+                emitted_values.extend(
+                    r.value
+                    for r in operator.process(Watermark(step - 1_000))
+                    if not r.is_update
+                )
+        # Every completed count window of 500 records sums to exactly 500.
+        assert emitted_values
+        assert set(emitted_values) == {500.0}
+
+    def test_median_workload_memory_stays_bounded(self):
+        from repro.runtime import deep_sizeof
+
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=200)
+        operator.add_query(TumblingWindow(100), Median())
+        checkpoints = []
+        for ts in range(30_000):
+            operator.process(Record(ts, float(ts % 50)))
+            if ts % 200 == 199:
+                operator.process(Watermark(ts - 100))
+            if ts in (9_999, 19_999, 29_999):
+                checkpoints.append(
+                    sum(deep_sizeof(obj) for obj in operator.state_objects())
+                )
+        # State footprint is steady, not growing with stream length.
+        assert checkpoints[2] < checkpoints[0] * 2
+
+
+class TestRecordConservation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_all_records_attributed_before_eviction(self, seed):
+        rng = random.Random(seed)
+        operator = GeneralSlicingOperator(
+            stream_in_order=False, allowed_lateness=10**9
+        )
+        operator.add_query(TumblingWindow(50), Sum())
+        operator.add_query(SessionWindow(10), Sum())
+        count = 0
+        for _ in range(5_000):
+            ts = rng.randrange(0, 10_000)
+            operator.process(Record(ts, 1.0))
+            count += 1
+        chain = operator._chains[MeasureKind.TIME]
+        assert sum(s.record_count for s in chain.store.slices) == count
+        check_chain_invariants(operator)
+        # Total mass equals the record count when everything is flushed.
+        final = {}
+        for result in operator.process(Watermark(10**9)):
+            final[(result.query_id, result.start, result.end)] = result.value
+        tumbling_total = sum(
+            value for (qid, _, _), value in final.items() if qid == 0
+        )
+        assert tumbling_total == count

@@ -1,0 +1,168 @@
+"""Tests for the on-the-fly stream slicer (Step 1)."""
+
+import pytest
+
+from repro.aggregations import Sum
+from repro.core.aggregate_store import LazyAggregateStore
+from repro.core.slice_ import Slice
+from repro.core.stream_slicer import StreamSlicer
+
+
+def make_slicer(edges, store=None, floor=None, count_edges=None, **kwargs):
+    """Slicer over a fixed periodic edge grid (for tests)."""
+    store = store if store is not None else LazyAggregateStore([Sum()])
+
+    def next_edge(ts):
+        if not edges:
+            return None
+        period = edges
+        return (ts // period + 1) * period
+
+    def floor_edge(ts):
+        if floor is False:
+            return None
+        if not edges:
+            return None
+        return (ts // edges) * edges
+
+    def next_count_edge(count):
+        if count_edges is None:
+            return None
+        return (count // count_edges + 1) * count_edges
+
+    slicer = StreamSlicer(
+        store,
+        next_time_edge=next_edge,
+        floor_time_edge=floor_edge,
+        next_count_edge=next_count_edge if count_edges else None,
+        **kwargs,
+    )
+    return slicer, store
+
+
+class TestFirstSlice:
+    def test_first_slice_starts_at_floor_edge(self):
+        slicer, store = make_slicer(10)
+        head = slicer.ensure_open_slice(13, 0)
+        assert head.start == 10
+        assert head.end is None
+        assert slicer.cut_performed
+
+    def test_first_slice_without_floor_starts_at_ts(self):
+        slicer, store = make_slicer(10, floor=False)
+        head = slicer.ensure_open_slice(13, 0)
+        assert head.start == 13
+
+    def test_cached_edge_after_first_slice(self):
+        slicer, _ = make_slicer(10)
+        slicer.ensure_open_slice(13, 0)
+        assert slicer.cached_time_edge == 20
+
+
+class TestCutting:
+    def test_single_comparison_within_slice(self):
+        slicer, store = make_slicer(10)
+        slicer.ensure_open_slice(3, 0)
+        slicer.ensure_open_slice(5, 1)
+        assert len(store) == 1
+        assert not slicer.cut_performed
+
+    def test_cut_at_edge(self):
+        slicer, store = make_slicer(10)
+        head = slicer.ensure_open_slice(3, 0)
+        head.add_inorder(__import__("repro.core.types", fromlist=["Record"]).Record(3, 1.0), store.functions)
+        head = slicer.ensure_open_slice(12, 1)
+        assert len(store) == 2
+        assert store.slices[0].end == 10
+        assert head.start == 10
+        assert slicer.cut_performed
+
+    def test_record_at_exact_edge_starts_new_slice(self):
+        slicer, store = make_slicer(10)
+        slicer.ensure_open_slice(5, 0)
+        head = slicer.ensure_open_slice(10, 1)
+        assert store.slices[0].end == 10
+        assert head.start == 10
+
+    def test_skipping_multiple_edges_leaves_gap(self):
+        slicer, store = make_slicer(10)
+        slicer.ensure_open_slice(5, 0)
+        head = slicer.ensure_open_slice(47, 1)
+        # Closed at the first passed edge; reopened at the last edge <= 47.
+        assert store.slices[0].end == 10
+        assert head.start == 40
+        assert len(store) == 2
+
+
+class TestCountCuts:
+    def test_count_edge_closes_head(self):
+        from repro.core.types import Record
+
+        slicer, store = make_slicer(1000, count_edges=3, track_counts=True)
+        for position in range(7):
+            head = slicer.ensure_open_slice(position, position)
+            head.add_inorder(Record(position, 1.0), store.functions)
+        assert len(store) == 3
+        first, second, third = store.slices
+        assert (first.count_start, first.count_end) == (0, 3)
+        assert (second.count_start, second.count_end) == (3, 6)
+        assert third.count_end is None
+        assert first.end_kind == Slice.END_COUNT
+
+    def test_count_boundary_ts_is_cutting_record_ts(self):
+        from repro.core.types import Record
+
+        slicer, store = make_slicer(1000, count_edges=2, track_counts=True)
+        for position, ts in enumerate([5, 7, 20, 21]):
+            head = slicer.ensure_open_slice(ts, position)
+            head.add_inorder(Record(ts, 1.0), store.functions)
+        assert store.slices[0].end == 20
+
+
+class TestCacheInvalidation:
+    def test_invalidate_recomputes_from_last_record(self):
+        from repro.core.types import Record
+
+        slicer, store = make_slicer(10)
+        head = slicer.ensure_open_slice(3, 0)
+        head.add_inorder(Record(3, 1.0), store.functions)
+        slicer.invalidate_cache()
+        head = slicer.ensure_open_slice(12, 1)
+        assert store.slices[0].end == 10  # the edge at 10 was not skipped
+
+    def test_store_records_flag_applies_to_new_slices(self):
+        slicer, store = make_slicer(10)
+        first = slicer.ensure_open_slice(3, 0)
+        assert first.records is None
+        slicer.store_records = True
+        second = slicer.ensure_open_slice(15, 1)
+        assert second.records is not None
+
+
+class TestMovingEdges:
+    def test_after_record_refreshes_cache_when_edges_move(self):
+        # Simulates a session window: the edge follows the last record.
+        state = {"last": 0}
+
+        def next_edge(ts):
+            edge = state["last"] + 5
+            return edge if edge > ts else None
+
+        store = LazyAggregateStore([Sum()])
+        slicer = StreamSlicer(
+            store,
+            next_time_edge=next_edge,
+            floor_time_edge=lambda ts: None,
+            edges_move=True,
+        )
+        from repro.core.types import Record
+
+        head = slicer.ensure_open_slice(0, 0)
+        head.add_inorder(Record(0, 1.0), store.functions)
+        state["last"] = 0
+        slicer.after_record(0)
+        assert slicer.cached_time_edge == 5
+        # Next record arrives after the session gap: a cut at 5 happens.
+        head = slicer.ensure_open_slice(8, 1)
+        assert store.slices[0].end == 5
+        assert head.start == 5
