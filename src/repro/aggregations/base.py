@@ -31,7 +31,7 @@ can inspect registered queries:
 from __future__ import annotations
 
 import enum
-from typing import Any, Generic, Iterable, Optional, TypeVar
+from typing import Any, Generic, Iterable, Optional, Sequence, TypeVar
 
 V = TypeVar("V")  # input value
 P = TypeVar("P")  # partial aggregate
@@ -124,6 +124,24 @@ class AggregateFunction(Generic[V, P, R]):
         include their parameters.
         """
         return (type(self),)
+
+    def fold_values(self, partial: Optional[P], values: Sequence[V]) -> Optional[P]:
+        """Fold a run of raw values into ``partial`` in stream order.
+
+        This is the bulk primitive behind the batched ingestion path:
+        a run of in-order records is folded with one call instead of one
+        ``lift``/``combine`` round-trip per record.  The default is the
+        exact left fold that repeated :meth:`lift` + :meth:`combine`
+        would produce, so results are identical on both paths; simple
+        distributive aggregations override it with builtin reductions
+        (``sum``/``min``/``max``/``len``) for real bulk speedups.
+        """
+        lift = self.lift
+        combine = self.combine
+        for value in values:
+            lifted = lift(value)
+            partial = lifted if partial is None else combine(partial, lifted)
+        return partial
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}()"

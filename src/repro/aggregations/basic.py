@@ -45,6 +45,16 @@ class Sum(AggregateFunction[float, float, float]):
     def identity(self) -> float:
         return 0
 
+    def fold_values(self, partial, values):
+        # ``sum(values, start)`` is the same left-to-right addition chain
+        # as repeated ``combine``; seeding from the first value avoids a
+        # spurious ``0 + v`` step so results stay bit-identical.
+        if partial is None:
+            if not values:
+                return None
+            return sum(values[1:], values[0])
+        return sum(values, partial)
+
 
 class SumWithoutInvert(Sum):
     """Sum with invertibility disabled (the paper's "sum w/o invert").
@@ -88,6 +98,11 @@ class Count(AggregateFunction[Any, int, int]):
     def empty_result(self) -> int:
         return 0
 
+    def fold_values(self, partial, values):
+        if not values:
+            return partial
+        return len(values) if partial is None else partial + len(values)
+
 
 class Average(AggregateFunction[float, Tuple[float, int], float]):
     """Algebraic average: the partial is a ``(sum, count)`` pair."""
@@ -114,6 +129,13 @@ class Average(AggregateFunction[float, Tuple[float, int], float]):
 
     def identity(self) -> Tuple[float, int]:
         return (0.0, 0)
+
+    def fold_values(self, partial, values):
+        if not values:
+            return partial
+        if partial is None:
+            return (sum(values[1:], values[0]), len(values))
+        return (sum(values, partial[0]), partial[1] + len(values))
 
 
 class Min(AggregateFunction[float, float, float]):
@@ -143,6 +165,14 @@ class Min(AggregateFunction[float, float, float]):
         """True when removing ``removed_value`` cannot change ``partial``."""
         return removed_value > partial
 
+    def fold_values(self, partial, values):
+        # Builtin ``min`` keeps the first minimal element, matching the
+        # sequential combine's tie-break toward the earlier operand.
+        if not values:
+            return partial
+        low = min(values)
+        return low if partial is None else self.combine(partial, low)
+
 
 class Max(AggregateFunction[float, float, float]):
     """Non-invertible, commutative, distributive maximum."""
@@ -164,3 +194,9 @@ class Max(AggregateFunction[float, float, float]):
     def unaffected_by_removal(self, partial: float, removed_value: float) -> bool:
         """True when removing ``removed_value`` cannot change ``partial``."""
         return removed_value < partial
+
+    def fold_values(self, partial, values):
+        if not values:
+            return partial
+        high = max(values)
+        return high if partial is None else self.combine(partial, high)

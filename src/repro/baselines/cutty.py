@@ -112,6 +112,48 @@ class CuttyOperator(WindowOperator):
             results.extend(self._emit(record.ts))
         return results
 
+    def process_batch(self, elements) -> List[WindowResult]:
+        """Batch entry point: fold edge-free runs with one update per fn.
+
+        Mirrors the Pairs batch path: records between two slice edges
+        only fold into the open slice's partials, so runs collapse into
+        one ``fold_values`` call per distinct function.  Edge-crossing
+        records, punctuations, and watermarks take the per-element path;
+        results are identical to :meth:`process`.
+        """
+        results: List[WindowResult] = []
+        n = len(elements)
+        i = 0
+        while i < n:
+            element = elements[i]
+            if not isinstance(element, Record):
+                results.extend(self.process(element))
+                i += 1
+                continue
+            results.extend(self.process_record(element))
+            i += 1
+            edge = self._next_edge
+            prev = self._max_ts
+            j = i
+            while j < n:
+                e = elements[j]
+                if (
+                    not isinstance(e, Record)
+                    or (prev is not None and e.ts < prev)
+                    or (edge is not None and e.ts >= edge)
+                ):
+                    break
+                prev = e.ts
+                j += 1
+            if j > i:
+                values = [record.value for record in elements[i:j]]
+                open_aggs = self._open_aggs
+                for index, function in enumerate(self._functions):
+                    open_aggs[index] = function.fold_values(open_aggs[index], values)
+                self._max_ts = prev
+                i = j
+        return results
+
     def _close_slice(self, edge: int) -> None:
         assert self._open_start is not None
         self._slice_start.append(self._open_start)

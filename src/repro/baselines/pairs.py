@@ -123,6 +123,50 @@ class PairsOperator(WindowOperator):
             self._evict(record.ts)
         return results
 
+    def process_batch(self, elements) -> List[WindowResult]:
+        """Batch entry point: fold edge-free runs with one update per fn.
+
+        Records that cut a pair fragment take the per-record path; the
+        records between two fragment edges only fold into the open
+        fragment's partials, so whole runs collapse into one
+        ``fold_values`` call per distinct function.  Results are
+        identical to :meth:`process`.
+        """
+        results: List[WindowResult] = []
+        n = len(elements)
+        i = 0
+        while i < n:
+            element = elements[i]
+            if not isinstance(element, Record):
+                results.extend(self.process(element))
+                i += 1
+                continue
+            results.extend(self.process_record(element))
+            i += 1
+            # Bulk-fold the records that provably do not reach the next
+            # fragment edge (and stay in order).
+            edge = self._next_edge
+            prev = self._max_ts
+            j = i
+            while j < n:
+                e = elements[j]
+                if (
+                    not isinstance(e, Record)
+                    or (prev is not None and e.ts < prev)
+                    or (edge is not None and e.ts >= edge)
+                ):
+                    break
+                prev = e.ts
+                j += 1
+            if j > i:
+                values = [record.value for record in elements[i:j]]
+                open_aggs = self._open_aggs
+                for index, function in enumerate(self._functions):
+                    open_aggs[index] = function.fold_values(open_aggs[index], values)
+                self._max_ts = prev
+                i = j
+        return results
+
     def _close_fragment(self, edge: int) -> None:
         assert self._open_start is not None and self._open_aggs is not None
         self._frag_start.append(self._open_start)

@@ -100,6 +100,43 @@ class TupleBufferOperator(WindowOperator):
         self._evict(watermark.ts)
         return results
 
+    def process_batch(self, elements) -> List[WindowResult]:
+        """Batch entry point: bulk-append runs of in-order records.
+
+        On watermark-driven streams an in-order record only appends to
+        the buffer (no emission), so whole runs extend the parallel
+        arrays in one step.  In-order-declared streams emit per record
+        and keep the per-element path, as do late records and
+        watermarks -- results are identical to :meth:`process`.
+        """
+        results: List[WindowResult] = []
+        process = self.process
+        n = len(elements)
+        i = 0
+        while i < n:
+            element = elements[i]
+            if not self.stream_in_order and isinstance(element, Record):
+                prev = self._max_ts
+                j = i
+                while j < n:
+                    e = elements[j]
+                    if not isinstance(e, Record) or (prev is not None and e.ts < prev):
+                        break
+                    prev = e.ts
+                    j += 1
+                if j > i:
+                    run = elements[i:j]
+                    self._ts.extend(record.ts for record in run)
+                    self._values.extend(record.value for record in run)
+                    self._max_ts = prev
+                    i = j
+                    continue
+            out = process(element)
+            if out:
+                results.extend(out)
+            i += 1
+        return results
+
     # ------------------------------------------------------------------
 
     def _retention(self) -> int:

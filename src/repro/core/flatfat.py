@@ -121,6 +121,31 @@ class FlatFAT(Generic[P]):
         self._size += 1
         self._update_path(self._size - 1)
 
+    def extend(self, partials: Sequence[Optional[P]]) -> None:
+        """Append several leaves at once: one growth, one repair pass.
+
+        Equivalent to repeated :meth:`append`, but the array grows at
+        most once and each affected inner node is recomputed exactly
+        once (level-by-level over the appended range) instead of once
+        per appended leaf.
+        """
+        count = len(partials)
+        if count == 0:
+            return
+        if self._size + count > self._capacity:
+            self._grow(self._size + count)
+        start = self._size
+        self._arr[self._capacity + start : self._capacity + start + count] = list(partials)
+        self._size += count
+        arr = self._arr
+        lo = (self._capacity + start) // 2
+        hi = (self._capacity + self._size - 1) // 2
+        while lo >= 1:
+            for node in range(lo, hi + 1):
+                arr[node] = self._merge(arr[2 * node], arr[2 * node + 1])
+            lo //= 2
+            hi //= 2
+
     def insert(self, index: int, partial: Optional[P]) -> None:
         """Insert a leaf in the middle: O(n) (leaf shift + rebuild).
 

@@ -11,7 +11,7 @@ operators ... without changing their input or output semantics").
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Sequence
 
 from ..aggregations.base import AggregateFunction
 from ..windows.base import WindowType
@@ -76,9 +76,51 @@ class WindowOperator:
         """Window punctuations; techniques without FCF support ignore them."""
         return []
 
-    def run(self, elements: Iterable[StreamElement]) -> List[WindowResult]:
-        """Convenience: process a whole stream, collecting all results."""
+    def process_batch(self, elements: Sequence[StreamElement]) -> List[WindowResult]:
+        """Process a pre-materialized batch of stream elements.
+
+        Semantically identical to concatenating the outputs of
+        :meth:`process` over ``elements`` -- window results, emission
+        order, and state transitions are the same on both paths.  The
+        base implementation is exactly that loop; techniques override it
+        to amortize per-record dispatch over runs of in-order records
+        (the batched ingestion fast path).  Watermarks, punctuations,
+        and out-of-order records inside a batch take the per-element
+        path, so emission timing never changes.
+        """
         results: List[WindowResult] = []
+        process = self.process
+        for element in elements:
+            out = process(element)
+            if out:
+                results.extend(out)
+        return results
+
+    def run(
+        self,
+        elements: Iterable[StreamElement],
+        *,
+        batch_size: Optional[int] = None,
+    ) -> List[WindowResult]:
+        """Convenience: process a whole stream, collecting all results.
+
+        ``batch_size`` routes the stream through :meth:`process_batch`
+        in chunks of that many elements; ``None`` (the default) keeps
+        the tuple-at-a-time path.  Both produce identical results.
+        """
+        results: List[WindowResult] = []
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            batch: List[StreamElement] = []
+            for element in elements:
+                batch.append(element)
+                if len(batch) >= batch_size:
+                    results.extend(self.process_batch(batch))
+                    batch = []
+            if batch:
+                results.extend(self.process_batch(batch))
+            return results
         for element in elements:
             results.extend(self.process(element))
         return results

@@ -115,6 +115,29 @@ class Slice:
             self.first_ts = record.ts
         self.last_ts = record.ts
 
+    def add_run(self, records: Sequence[Record], functions: Sequence[AggregateFunction]) -> None:
+        """Append a run of records arriving in event-time order (bulk path).
+
+        Equivalent to calling :meth:`add_inorder` once per record, but
+        with one partial-aggregate update per function for the whole run
+        (via :meth:`~repro.aggregations.base.AggregateFunction.fold_values`).
+        Record-storing slices extend their record list in one step; the
+        per-function fold degrades gracefully to the per-record loop for
+        holistic aggregations, whose partials grow with every value.
+        """
+        if not records:
+            return
+        values = [record.value for record in records]
+        aggs = self.aggs
+        for index, function in enumerate(functions):
+            aggs[index] = function.fold_values(aggs[index], values)
+        if self.records is not None:
+            self.records.extend(records)
+        self.record_count += len(records)
+        if self.first_ts is None:
+            self.first_ts = records[0].ts
+        self.last_ts = records[-1].ts
+
     def add_out_of_order(self, record: Record, functions: Sequence[AggregateFunction]) -> None:
         """Insert a late record.
 

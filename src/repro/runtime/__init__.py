@@ -12,7 +12,7 @@ from .metrics import LatencyHarness, LatencyStats, ThroughputResult, measure_thr
 from .keyed import KeyedWindowOperator
 from .partition import ParallelResult, PartitionedExecutor, hash_partition, run_parallel
 from .pipeline import CollectSink, CountingSink, FilterOperator, MapOperator, Pipeline
-from .sources import GeneratorSource, ListSource, paced_replay
+from .sources import GeneratorSource, ListSource, batched, paced_replay
 
 __all__ = [
     "inject_disorder",
@@ -40,5 +40,6 @@ __all__ = [
     "CountingSink",
     "ListSource",
     "GeneratorSource",
+    "batched",
     "paced_replay",
 ]

@@ -12,6 +12,7 @@
 from __future__ import annotations
 
 import gc
+import math
 import statistics
 import time
 from typing import Any, Callable, Dict, List, Sequence
@@ -34,7 +35,11 @@ class ThroughputResult:
 
     @property
     def records_per_second(self) -> float:
-        return self.records / self.seconds if self.seconds > 0 else float("inf")
+        """Sustained rate; 0.0 for zero-length measurements (no records
+        or no measurable elapsed time) instead of a meaningless ``inf``."""
+        if self.records <= 0 or self.seconds <= 0:
+            return 0.0
+        return self.records / self.seconds
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -49,33 +54,59 @@ def measure_throughput(
     *,
     record_count: int | None = None,
     disable_gc: bool = True,
+    batch_size: int | None = None,
 ) -> ThroughputResult:
     """Replay ``elements`` through ``operator`` and measure records/second.
 
     ``elements`` must be pre-materialized (a list) so generation cost
     stays outside the measurement, matching the paper's setup where
-    windowing is the bottleneck.
+    windowing is the bottleneck.  ``batch_size`` exercises the batched
+    ingestion path: elements are pre-chunked outside the measured region
+    and replayed through :meth:`WindowOperator.process_batch`; ``None``
+    keeps the tuple-at-a-time path.
     """
     from ..core.types import Record
 
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     if record_count is None:
         record_count = sum(1 for e in elements if isinstance(e, Record))
+    batches: list | None = None
+    if batch_size is not None:
+        elements = list(elements)
+        batches = [
+            elements[i : i + batch_size] for i in range(0, len(elements), batch_size)
+        ]
     emitted = 0
     was_enabled = gc.isenabled()
     if disable_gc:
         gc.collect()
         gc.disable()
     try:
-        process = operator.process
-        start = time.perf_counter()
-        for element in elements:
-            out = process(element)
-            if out:
-                emitted += len(out)
-        elapsed = time.perf_counter() - start
+        if batches is not None:
+            process_batch = operator.process_batch
+            start = time.perf_counter()
+            for batch in batches:
+                out = process_batch(batch)
+                if out:
+                    emitted += len(out)
+            elapsed = time.perf_counter() - start
+        else:
+            process = operator.process
+            start = time.perf_counter()
+            for element in elements:
+                out = process(element)
+                if out:
+                    emitted += len(out)
+            elapsed = time.perf_counter() - start
     finally:
-        if disable_gc and was_enabled:
-            gc.enable()
+        if disable_gc:
+            if was_enabled:
+                gc.enable()
+            # Collect the garbage accumulated while the collector was
+            # off, so back-to-back measurements don't inherit it (even
+            # when gc was already disabled by the caller).
+            gc.collect()
     return ThroughputResult(record_count, elapsed, emitted)
 
 
@@ -90,8 +121,16 @@ class LatencyStats:
         self.samples = sorted(samples)
 
     def percentile(self, q: float) -> int:
-        """Nearest-rank percentile of the samples (q in [0, 1])."""
-        index = min(len(self.samples) - 1, max(0, int(q * len(self.samples))))
+        """Nearest-rank percentile of the samples (q in [0, 1]).
+
+        Nearest-rank: the smallest sample such that at least ``q * n``
+        samples are at or below it, i.e. rank ``ceil(q * n)`` (1-based).
+        The previous ``int(q * n)`` truncation was off by one rank --
+        for q=0.99, n=100 it returned the maximum sample (rank 100)
+        instead of rank 99.
+        """
+        rank = math.ceil(q * len(self.samples))
+        index = min(len(self.samples) - 1, max(0, rank - 1))
         return self.samples[index]
 
     @property
@@ -101,6 +140,10 @@ class LatencyStats:
     @property
     def p99(self) -> int:
         return self.percentile(0.99)
+
+    @property
+    def p100(self) -> int:
+        return self.percentile(1.0)
 
     @property
     def mean(self) -> float:

@@ -67,17 +67,30 @@ class CountingSink:
 class Pipeline:
     """source → [map/filter]* → window operator → sink.
 
+    ``batch_size`` controls ingestion into the window operator: with the
+    default of 1 every element is processed tuple-at-a-time (the
+    original semantics); larger values buffer records and hand them to
+    :meth:`WindowOperator.process_batch` in one call.  Watermarks and
+    punctuations flush the buffer immediately, so emission timing and
+    window results are identical on both paths.
+
     Example::
 
-        pipeline = Pipeline(window_operator, sink)
+        pipeline = Pipeline(window_operator, sink, batch_size=64)
         pipeline.add_stage(MapOperator(lambda r: Record(r.ts, r.value * 2)))
         pipeline.run(source_elements)
     """
 
-    def __init__(self, window_operator: WindowOperator, sink) -> None:
+    def __init__(
+        self, window_operator: WindowOperator, sink, *, batch_size: int = 1
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.window_operator = window_operator
         self.sink = sink
+        self.batch_size = batch_size
         self._stages: List = []
+        self._batch: List[StreamElement] = []
 
     def add_stage(self, stage) -> "Pipeline":
         """Insert a map/filter stage upstream of the window operator."""
@@ -91,7 +104,22 @@ class Pipeline:
             current = stage.apply(current)
             if current is None:
                 return
-        for result in self.window_operator.process(current):
+        if self.batch_size <= 1:
+            for result in self.window_operator.process(current):
+                self.sink.emit(result)
+            return
+        self._batch.append(current)
+        # Non-records (watermarks, punctuations) flush so emission
+        # happens exactly when the tuple-at-a-time path would emit.
+        if len(self._batch) >= self.batch_size or not isinstance(current, Record):
+            self.flush()
+
+    def flush(self) -> None:
+        """Drain the ingestion buffer into the window operator."""
+        if not self._batch:
+            return
+        batch, self._batch = self._batch, []
+        for result in self.window_operator.process_batch(batch):
             self.sink.emit(result)
 
     def run(self, elements: Iterable[StreamElement]) -> None:
@@ -99,6 +127,7 @@ class Pipeline:
         push = self.push
         for element in elements:
             push(element)
+        self.flush()
 
     def results(self) -> List[WindowResult]:
         """The sink's collected results (CollectSink only)."""

@@ -12,7 +12,28 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.types import Record, StreamElement
 
-__all__ = ["ListSource", "GeneratorSource", "paced_replay"]
+__all__ = ["ListSource", "GeneratorSource", "batched", "paced_replay"]
+
+
+def batched(
+    elements: Iterable[StreamElement], size: int
+) -> Iterator[List[StreamElement]]:
+    """Chunk a stream into lists of at most ``size`` elements.
+
+    Feeds :meth:`WindowOperator.process_batch`; the final chunk may be
+    shorter.  Chunking never reorders elements, so batched ingestion
+    sees the exact same element sequence as tuple-at-a-time ingestion.
+    """
+    if size < 1:
+        raise ValueError(f"batch size must be >= 1, got {size}")
+    chunk: List[StreamElement] = []
+    for element in elements:
+        chunk.append(element)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 class ListSource:

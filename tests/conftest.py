@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+import pathlib
 import random
 from typing import Dict, List, Sequence, Tuple
 
@@ -9,6 +11,27 @@ import pytest
 
 from repro.core.operator_base import WindowOperator
 from repro.core.types import Record, StreamElement, Watermark
+
+#: Repository ``src/`` directory holding the ``repro`` package.
+SRC_DIR = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+def subprocess_env(**overrides: str) -> Dict[str, str]:
+    """Environment for CLI subprocess tests with ``repro`` importable.
+
+    Starts from the current environment (so the interpreter keeps its
+    toolchain paths) and prepends the repo's ``src/`` to ``PYTHONPATH``;
+    tests that launched ``python -m repro...`` with a scrubbed ``env``
+    lost the path the parent test run was using and failed to import
+    ``repro``.  ``overrides`` win over inherited variables.
+    """
+    env = dict(os.environ)
+    env.update(overrides)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_DIR) if not existing else f"{SRC_DIR}{os.pathsep}{existing}"
+    )
+    return env
 
 
 def run_operator(operator: WindowOperator, elements) -> list:

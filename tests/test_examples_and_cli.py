@@ -6,6 +6,8 @@ import sys
 
 import pytest
 
+from conftest import subprocess_env
+
 EXAMPLES = sorted(
     (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
 )
@@ -18,6 +20,7 @@ def test_example_runs_clean(script):
         capture_output=True,
         text=True,
         timeout=240,
+        env=subprocess_env(),
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip(), "examples must produce output"
@@ -36,6 +39,7 @@ class TestExperimentsCLI:
             capture_output=True,
             text=True,
             timeout=120,
+            env=subprocess_env(),
         )
         assert completed.returncode == 0, completed.stderr
         assert "Table 1" in completed.stdout
@@ -47,6 +51,7 @@ class TestExperimentsCLI:
             capture_output=True,
             text=True,
             timeout=60,
+            env=subprocess_env(),
         )
         assert completed.returncode == 2
         assert "fig8" in completed.stderr
@@ -57,7 +62,7 @@ class TestExperimentsCLI:
             capture_output=True,
             text=True,
             timeout=300,
-            env={"PATH": "/usr/bin:/bin", "REPRO_BENCH_SCALE": "0.2"},
+            env=subprocess_env(REPRO_BENCH_SCALE="0.2"),
         )
         assert completed.returncode == 0, completed.stderr
         assert "Figure 15" in completed.stdout

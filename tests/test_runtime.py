@@ -121,6 +121,87 @@ class TestMetrics:
         result = ThroughputResult(1000, 0.5, 10)
         assert result.records_per_second == 2000
 
+    def test_records_per_second_zero_length_measurement(self):
+        # A zero-length measurement must not report an infinite rate.
+        assert ThroughputResult(0, 0.0, 0).records_per_second == 0.0
+        assert ThroughputResult(100, 0.0, 0).records_per_second == 0.0
+        assert ThroughputResult(0, 1.0, 0).records_per_second == 0.0
+
+    def test_measure_throughput_restores_gc_and_collects(self, monkeypatch):
+        import gc
+
+        from repro import GeneralSlicingOperator
+        from repro.aggregations import Sum
+        from repro.windows import TumblingWindow
+
+        collects = []
+        real_collect = gc.collect
+        monkeypatch.setattr(
+            gc, "collect", lambda *args: collects.append(args) or real_collect()
+        )
+
+        def run_once():
+            op = GeneralSlicingOperator(stream_in_order=True)
+            op.add_query(TumblingWindow(10), Sum())
+            measure_throughput(op, [Record(ts, 1.0) for ts in range(50)])
+
+        assert gc.isenabled()
+        run_once()
+        assert gc.isenabled(), "gc must be re-enabled after a measurement"
+        # One collect before the timed region, one after it.
+        assert len(collects) == 2
+        gc.disable()
+        try:
+            # With gc already disabled, the measurement must leave it
+            # disabled but still collect the garbage it produced.
+            collects.clear()
+            run_once()
+            assert not gc.isenabled()
+            assert len(collects) == 2, "post-run collect skipped"
+        finally:
+            gc.enable()
+
+    def test_measure_throughput_batched_path_equivalent(self):
+        from repro import GeneralSlicingOperator
+        from repro.aggregations import Sum
+        from repro.windows import TumblingWindow
+
+        def operator():
+            op = GeneralSlicingOperator(stream_in_order=True)
+            op.add_query(TumblingWindow(10), Sum())
+            return op
+
+        stream = [Record(ts, 1.0) for ts in range(100)]
+        tuple_at_a_time = measure_throughput(operator(), stream)
+        batched_run = measure_throughput(operator(), stream, batch_size=16)
+        assert batched_run.records == tuple_at_a_time.records == 100
+        assert batched_run.results_emitted == tuple_at_a_time.results_emitted
+
+    def test_measure_throughput_rejects_bad_batch_size(self):
+        from repro import GeneralSlicingOperator
+
+        with pytest.raises(ValueError):
+            measure_throughput(GeneralSlicingOperator(), [], batch_size=0)
+
+    def test_percentile_nearest_rank_known_samples(self):
+        from repro.runtime.metrics import LatencyStats
+
+        # 100 samples 1..100: nearest-rank p50 = 50th sample, p99 = 99th,
+        # p100 = the maximum.  int(q*n) truncation returned 51/100/100.
+        stats = LatencyStats(list(range(1, 101)))
+        assert stats.p50 == 50
+        assert stats.p99 == 99
+        assert stats.p100 == 100
+        assert stats.percentile(0.0) == 1
+        # 4 samples: p50 is the 2nd (ceil(0.5*4)=2), p99/p100 the 4th.
+        stats = LatencyStats([10, 20, 30, 40])
+        assert stats.p50 == 20
+        assert stats.p99 == 40
+        assert stats.p100 == 40
+        # Single sample: every percentile collapses onto it.
+        stats = LatencyStats([7])
+        assert stats.p50 == stats.p99 == stats.p100 == 7
+
     def test_latency_harness_measures(self):
         harness = LatencyHarness(warmup=2, iterations=20)
         stats = harness.measure(lambda: sum(range(100)))
@@ -177,6 +258,40 @@ class TestPipeline:
         pipeline = Pipeline(self._operator(), CountingSink())
         with pytest.raises(TypeError):
             pipeline.results()
+
+    def test_batched_pipeline_matches_tuple_at_a_time(self):
+        stream = [Record(ts, 1.0) for ts in range(25)]
+        reference = Pipeline(self._operator(), CollectSink())
+        reference.run(stream)
+        batched_pipeline = Pipeline(
+            self._operator(), CollectSink(), batch_size=8
+        )
+        batched_pipeline.run(stream)
+        key = lambda r: (r.query_id, r.start, r.end, r.value)
+        assert list(map(key, batched_pipeline.results())) == list(
+            map(key, reference.results())
+        )
+
+    def test_batched_pipeline_flushes_on_watermark(self):
+        from repro import GeneralSlicingOperator
+        from repro.aggregations import Sum
+        from repro.windows import TumblingWindow
+
+        op = GeneralSlicingOperator(stream_in_order=False)
+        op.add_query(TumblingWindow(10), Sum())
+        pipeline = Pipeline(op, CollectSink(), batch_size=100)
+        pipeline.push(Record(1, 1.0))
+        pipeline.push(Record(5, 2.0))
+        # A watermark must flush the buffered records first, then pass
+        # through, even though the batch is not yet full.
+        pipeline.push(Watermark(10))
+        assert [(r.start, r.end, r.value) for r in pipeline.results()] == [
+            (0, 10, 3.0)
+        ]
+
+    def test_pipeline_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            Pipeline(self._operator(), CollectSink(), batch_size=0)
 
 
 class TestPartition:
@@ -266,3 +381,17 @@ class TestSources:
     def test_paced_replay_invalid_speedup(self):
         with pytest.raises(ValueError):
             list(paced_replay([], speedup=0))
+
+    def test_batched_chunks_and_preserves_order(self):
+        from repro.runtime import batched
+
+        elements = [Record(t, float(t)) for t in range(10)]
+        chunks = list(batched(elements, 4))
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert [r.ts for chunk in chunks for r in chunk] == list(range(10))
+
+    def test_batched_invalid_size(self):
+        from repro.runtime import batched
+
+        with pytest.raises(ValueError):
+            list(batched([], 0))
