@@ -98,6 +98,7 @@ class AggregateTreeOperator(WindowOperator):
                 self._watermark is not None
                 and record.ts < self._watermark - self.allowed_lateness
             ):
+                self._drop_late(record)
                 return results
             position = bisect.bisect_right(self._ts, record.ts)
             self._ts.insert(position, record.ts)

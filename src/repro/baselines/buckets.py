@@ -161,6 +161,7 @@ class BucketsOperator(WindowOperator):
             and self._watermark is not None
             and record.ts < self._watermark - self.allowed_lateness
         ):
+            self._drop_late(record)
             return results
         position = self._arrived
         self._arrived += 1

@@ -84,6 +84,7 @@ class TupleBufferOperator(WindowOperator):
                 self._watermark is not None
                 and record.ts < self._watermark - self.allowed_lateness
             ):
+                self._drop_late(record)
                 return results
             # The costly sorted insert (memory copy in the ring buffer).
             position = bisect.bisect_right(self._ts, record.ts)

@@ -264,7 +264,6 @@ class GeneralSlicingOperator(WindowOperator):
         self._max_ts: Optional[int] = None
         self._watermark: Optional[int] = None
         self._arrived = 0
-        self._dropped_late = 0
 
     # ------------------------------------------------------------------
     # adaptivity (Section 5: re-derive characteristics on query changes)
@@ -321,7 +320,7 @@ class GeneralSlicingOperator(WindowOperator):
             )
         if not in_order and self._watermark is not None:
             if record.ts < self._watermark - self.allowed_lateness:
-                self._dropped_late += 1
+                self._drop_late(record)
                 return results  # beyond the allowed lateness: dropped
 
         count_position = self._arrived
@@ -534,11 +533,6 @@ class GeneralSlicingOperator(WindowOperator):
     def total_slices(self) -> int:
         """Total slices currently held across all chains."""
         return sum(len(chain.store) for chain in self._chains.values())
-
-    @property
-    def dropped_late_records(self) -> int:
-        """Records dropped for exceeding the allowed lateness."""
-        return self._dropped_late
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         mode = "eager" if self.eager else "lazy"

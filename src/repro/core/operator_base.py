@@ -11,7 +11,7 @@ operators ... without changing their input or output semantics").
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..aggregations.base import AggregateFunction
 from ..windows.base import WindowType
@@ -31,6 +31,18 @@ class WindowOperator:
     def __init__(self) -> None:
         self._next_query_id = 0
         self.queries: List[Query] = []
+        #: Late-record side channel: called with every record dropped for
+        #: exceeding the allowed lateness, instead of dropping silently.
+        #: Runtime wiring, not operator state -- excluded from snapshots.
+        self.on_late_record: Optional[Callable[[Record], None]] = None
+        self._dropped_late = 0
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        # Callbacks point at live runtime objects (supervisors, sinks);
+        # a restored operator must be re-wired, not resurrect stale ones.
+        state["on_late_record"] = None
+        return state
 
     # ------------------------------------------------------------------
     # query management
@@ -52,6 +64,26 @@ class WindowOperator:
 
     def _on_queries_changed(self) -> None:
         """Hook: recompute workload characteristics / rebuild state."""
+
+    # ------------------------------------------------------------------
+    # late-record side channel
+
+    def _drop_late(self, record: Record) -> None:
+        """Account for a record beyond the allowed lateness.
+
+        Implementations call this at every drop site so the loss is
+        observable: the drop counter advances and, when a supervisor
+        installed :attr:`on_late_record`, the record is handed to the
+        side channel instead of vanishing silently.
+        """
+        self._dropped_late += 1
+        if self.on_late_record is not None:
+            self.on_late_record(record)
+
+    @property
+    def dropped_late_records(self) -> int:
+        """Records dropped for exceeding the allowed lateness."""
+        return self._dropped_late
 
     # ------------------------------------------------------------------
     # stream processing

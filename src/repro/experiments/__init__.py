@@ -21,6 +21,7 @@ from .figures import (
     fig15_split_cost,
     fig16_measures,
     fig17_parallel,
+    recovery_latency,
     table1_memory_models,
 )
 from .harness import (
@@ -44,6 +45,7 @@ __all__ = [
     "fig16_measures",
     "fig17_parallel",
     "table1_memory_models",
+    "recovery_latency",
     "ResultTable",
     "TECHNIQUES",
     "INORDER_ONLY_TECHNIQUES",

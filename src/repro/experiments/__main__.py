@@ -27,6 +27,7 @@ from . import (
     fig15_split_cost,
     fig16_measures,
     fig17_parallel,
+    recovery_latency,
     table1_memory_models,
 )
 
@@ -45,6 +46,7 @@ EXPERIMENTS = {
     "fig15": lambda: [fig15_split_cost()],
     "fig16": lambda: [fig16_measures()],
     "fig17": lambda: [fig17_parallel()],
+    "recovery": lambda: [recovery_latency()],
 }
 
 

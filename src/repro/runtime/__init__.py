@@ -1,18 +1,63 @@
 """Runtime substrate: pipeline, sources, disorder, metrics, memory,
-and key-partitioned parallelism.
+key-partitioned parallelism, and fault tolerance.
 
 This package replaces the paper's Apache Flink runtime with a pure
 Python tuple-at-a-time substrate (see DESIGN.md, substitutions table).
+Fault tolerance -- Flink's checkpoint/restart/exactly-once story -- is
+provided by :mod:`repro.runtime.checkpoint` (versioned snapshots),
+:mod:`repro.runtime.faults` (deterministic fault injection), and
+:mod:`repro.runtime.recovery` (the supervised pipeline); see
+docs/fault_tolerance.md.
 """
 
-from .checkpoint import CheckpointingOperator, restore, snapshot
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_MAGIC,
+    CheckpointError,
+    CheckpointFormatError,
+    CheckpointingOperator,
+    SnapshotError,
+    restore,
+    snapshot,
+)
 from .disorder import disorder_fraction, inject_disorder, with_watermarks
+from .faults import (
+    FaultInjectingOperator,
+    FaultPlan,
+    FaultySource,
+    InjectedCrash,
+    InjectedFault,
+    InjectedOperatorError,
+    SourceHiccup,
+    stall_watermarks,
+)
 from .memory import TABLE1_ROWS, deep_sizeof, memory_model
-from .metrics import LatencyHarness, LatencyStats, ThroughputResult, measure_throughput
+from .metrics import (
+    LatencyHarness,
+    LatencyStats,
+    RecoveryStats,
+    ThroughputResult,
+    measure_throughput,
+)
 from .keyed import KeyedWindowOperator
 from .partition import ParallelResult, PartitionedExecutor, hash_partition, run_parallel
 from .pipeline import CollectSink, CountingSink, FilterOperator, MapOperator, Pipeline
-from .sources import GeneratorSource, ListSource, batched, paced_replay
+from .recovery import (
+    Checkpoint,
+    MemoryGuard,
+    MemoryPressure,
+    PipelineFailed,
+    RecoveryError,
+    RestartPolicy,
+    SupervisedPipeline,
+)
+from .sources import (
+    GeneratorSource,
+    ListSource,
+    ReplayableSource,
+    batched,
+    paced_replay,
+)
 
 __all__ = [
     "inject_disorder",
@@ -25,6 +70,7 @@ __all__ = [
     "ThroughputResult",
     "LatencyHarness",
     "LatencyStats",
+    "RecoveryStats",
     "hash_partition",
     "PartitionedExecutor",
     "run_parallel",
@@ -33,6 +79,26 @@ __all__ = [
     "snapshot",
     "restore",
     "CheckpointingOperator",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "SnapshotError",
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_FORMAT_VERSION",
+    "FaultPlan",
+    "FaultInjectingOperator",
+    "FaultySource",
+    "InjectedFault",
+    "InjectedCrash",
+    "InjectedOperatorError",
+    "SourceHiccup",
+    "stall_watermarks",
+    "SupervisedPipeline",
+    "RestartPolicy",
+    "MemoryGuard",
+    "MemoryPressure",
+    "Checkpoint",
+    "PipelineFailed",
+    "RecoveryError",
     "Pipeline",
     "MapOperator",
     "FilterOperator",
@@ -40,6 +106,7 @@ __all__ = [
     "CountingSink",
     "ListSource",
     "GeneratorSource",
+    "ReplayableSource",
     "batched",
     "paced_replay",
 ]

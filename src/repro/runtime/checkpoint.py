@@ -6,30 +6,123 @@ fault-tolerance story the paper leaves to the host system (Flink's
 checkpoints): capture the operator mid-stream, restore it later (or in
 another process), and resume with identical emissions.
 
+Snapshots carry a small versioned header (magic + format version) so a
+restore can tell a checkpoint from arbitrary bytes and reject blobs
+written by an incompatible build, instead of blindly unpickling.
+
 This pairs with the source's replay position: restore the operator from
 the snapshot and re-feed the elements after the snapshot point --
-standard checkpoint-and-replay semantics.
+standard checkpoint-and-replay semantics.  The supervised driver built
+on top lives in :mod:`repro.runtime.recovery`.
 """
 
 from __future__ import annotations
 
 import pickle
-from typing import Any
+from typing import Any, Callable, Optional, Sequence
 
 from ..core.operator_base import WindowOperator
+from ..core.types import Record, StreamElement
 
-__all__ = ["snapshot", "restore", "CheckpointingOperator"]
+__all__ = [
+    "CHECKPOINT_MAGIC",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointError",
+    "CheckpointFormatError",
+    "SnapshotError",
+    "snapshot",
+    "restore",
+    "CheckpointingOperator",
+]
+
+#: Leading bytes of every checkpoint blob ("Repro SLiCing").
+CHECKPOINT_MAGIC = b"RSLC"
+#: Current on-wire layout: MAGIC + 2-byte big-endian version + pickle.
+CHECKPOINT_FORMAT_VERSION = 1
+
+_HEADER_LEN = len(CHECKPOINT_MAGIC) + 2
+
+
+class CheckpointError(ValueError):
+    """Base class for checkpoint serialization failures."""
+
+
+class CheckpointFormatError(CheckpointError):
+    """The blob is not a checkpoint, or an incompatible/corrupt one."""
+
+
+class SnapshotError(CheckpointError):
+    """The operator's state cannot be serialized (unpicklable UDF)."""
+
+
+def _unpicklable_message(operator: WindowOperator, cause: Exception) -> str:
+    """Name the offending UDF when an aggregation cannot be pickled."""
+    offenders = []
+    for query in getattr(operator, "queries", []) or []:
+        aggregation = query.aggregation
+        try:
+            pickle.dumps(aggregation, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            offenders.append(
+                f"query {query.query_id} ({type(aggregation).__name__})"
+            )
+    if offenders:
+        return (
+            "cannot snapshot operator: the aggregation of "
+            + ", ".join(offenders)
+            + " holds an unpicklable object (typically a lambda or a "
+            "closure defined inside a function); define the UDF at module "
+            "level so pickle can reference it by name"
+        )
+    return f"cannot snapshot operator: {cause}"
 
 
 def snapshot(operator: WindowOperator) -> bytes:
-    """Serialize the operator's full state (queries, slices, bookkeeping)."""
-    return pickle.dumps(operator, protocol=pickle.HIGHEST_PROTOCOL)
+    """Serialize the operator's full state (queries, slices, bookkeeping).
+
+    The result starts with a versioned header understood by
+    :func:`restore`.  Raises :class:`SnapshotError` naming the offending
+    aggregation when the state holds an unpicklable UDF.
+    """
+    try:
+        payload = pickle.dumps(operator, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise SnapshotError(_unpicklable_message(operator, exc)) from exc
+    return (
+        CHECKPOINT_MAGIC
+        + CHECKPOINT_FORMAT_VERSION.to_bytes(2, "big")
+        + payload
+    )
 
 
 def restore(blob: bytes) -> WindowOperator:
     """Rebuild an operator from a snapshot; processing can resume as if
-    uninterrupted."""
-    operator = pickle.loads(blob)
+    uninterrupted.
+
+    Rejects blobs without the checkpoint header, blobs written with an
+    unsupported format version, and corrupt payloads with a
+    :class:`CheckpointFormatError` instead of an arbitrary unpickle.
+    """
+    if not isinstance(blob, (bytes, bytearray, memoryview)):
+        raise CheckpointFormatError(
+            f"checkpoint must be bytes, got {type(blob).__name__}"
+        )
+    blob = bytes(blob)
+    if len(blob) < _HEADER_LEN or blob[: len(CHECKPOINT_MAGIC)] != CHECKPOINT_MAGIC:
+        raise CheckpointFormatError(
+            "not a checkpoint blob: missing the "
+            f"{CHECKPOINT_MAGIC!r} header (was it produced by snapshot()?)"
+        )
+    version = int.from_bytes(blob[len(CHECKPOINT_MAGIC) : _HEADER_LEN], "big")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointFormatError(
+            f"checkpoint format v{version} is not supported by this build "
+            f"(expected v{CHECKPOINT_FORMAT_VERSION})"
+        )
+    try:
+        operator = pickle.loads(blob[_HEADER_LEN:])
+    except Exception as exc:
+        raise CheckpointFormatError(f"corrupt checkpoint payload: {exc}") from exc
     if not isinstance(operator, WindowOperator):
         raise TypeError(f"snapshot does not contain a WindowOperator: {type(operator)!r}")
     return operator
@@ -45,17 +138,34 @@ class CheckpointingOperator(WindowOperator):
         ...
         recovered = restore(guarded.last_snapshot)
         # re-feed the guarded.records_since_snapshot most recent records
+
+    Batched ingestion counts toward the same cadence: a batch's records
+    are added to ``records_since_snapshot`` and the threshold is checked
+    at the batch boundary, so a snapshot never captures mid-batch state.
+    ``on_checkpoint`` (optional) is invoked with each new snapshot blob.
     """
 
-    def __init__(self, inner: WindowOperator, every: int = 10_000) -> None:
+    def __init__(
+        self,
+        inner: WindowOperator,
+        every: int = 10_000,
+        *,
+        on_checkpoint: Optional[Callable[[bytes], None]] = None,
+    ) -> None:
         super().__init__()
         if every <= 0:
             raise ValueError(f"checkpoint interval must be positive, got {every}")
         self.inner = inner
         self.every = every
+        self.on_checkpoint = on_checkpoint
         self.last_snapshot: bytes = snapshot(inner)
         self.records_since_snapshot = 0
         self.snapshots_taken = 0
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["on_checkpoint"] = None
+        return state
 
     def add_query(self, window, aggregation):
         query = self.inner.add_query(window, aggregation)
@@ -90,11 +200,28 @@ class CheckpointingOperator(WindowOperator):
     def process_punctuation(self, punctuation):
         return self.inner.process_punctuation(punctuation)
 
+    def process_batch(self, elements: Sequence[StreamElement]):
+        """Batch entry point on the inner operator's fast path.
+
+        The checkpoint cadence is only evaluated after the whole batch
+        has been absorbed: snapshots are taken at batch boundaries, never
+        of half-applied batches.
+        """
+        results = self.inner.process_batch(elements)
+        self.records_since_snapshot += sum(
+            1 for element in elements if isinstance(element, Record)
+        )
+        if self.records_since_snapshot >= self.every:
+            self.checkpoint()
+        return results
+
     def checkpoint(self) -> bytes:
         """Take a snapshot now; returns the serialized state."""
         self.last_snapshot = snapshot(self.inner)
         self.records_since_snapshot = 0
         self.snapshots_taken += 1
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(self.last_snapshot)
         return self.last_snapshot
 
     def state_objects(self) -> list:

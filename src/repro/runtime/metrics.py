@@ -20,7 +20,13 @@ from typing import Any, Callable, Dict, List, Sequence
 from ..core.operator_base import WindowOperator
 from ..core.types import StreamElement
 
-__all__ = ["ThroughputResult", "measure_throughput", "LatencyHarness", "LatencyStats"]
+__all__ = [
+    "ThroughputResult",
+    "measure_throughput",
+    "LatencyHarness",
+    "LatencyStats",
+    "RecoveryStats",
+]
 
 
 class ThroughputResult:
@@ -108,6 +114,90 @@ def measure_throughput(
             # when gc was already disabled by the caller).
             gc.collect()
     return ThroughputResult(record_count, elapsed, emitted)
+
+
+class RecoveryStats:
+    """Counters for supervised (checkpoint-and-replay) execution.
+
+    Filled in by :class:`repro.runtime.recovery.SupervisedPipeline`:
+    how often the pipeline restarted, how much of the stream had to be
+    replayed, how many re-emitted results the exactly-once dedup
+    suppressed, and how long each recovery took (restore + rewind, not
+    counting the replay itself, which is ordinary processing).
+    """
+
+    __slots__ = (
+        "restarts",
+        "source_retries",
+        "checkpoints_taken",
+        "replayed_elements",
+        "replayed_records",
+        "deduped_results",
+        "results_emitted",
+        "late_records",
+        "shed_records",
+        "recovery_seconds",
+    )
+
+    def __init__(self) -> None:
+        self.restarts = 0
+        self.source_retries = 0
+        self.checkpoints_taken = 0
+        self.replayed_elements = 0
+        self.replayed_records = 0
+        self.deduped_results = 0
+        self.results_emitted = 0
+        self.late_records = 0
+        self.shed_records = 0
+        self.recovery_seconds: List[float] = []
+
+    def record_recovery(self, seconds: float, elements: int, records: int) -> None:
+        """Account one restore-and-rewind cycle."""
+        self.restarts += 1
+        self.recovery_seconds.append(seconds)
+        self.replayed_elements += elements
+        self.replayed_records += records
+
+    @property
+    def total_recovery_seconds(self) -> float:
+        return sum(self.recovery_seconds)
+
+    @property
+    def mean_recovery_seconds(self) -> float:
+        if not self.recovery_seconds:
+            return 0.0
+        return statistics.fmean(self.recovery_seconds)
+
+    @property
+    def max_recovery_seconds(self) -> float:
+        if not self.recovery_seconds:
+            return 0.0
+        return max(self.recovery_seconds)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for result tables and logs."""
+        return {
+            "restarts": self.restarts,
+            "source_retries": self.source_retries,
+            "checkpoints_taken": self.checkpoints_taken,
+            "replayed_elements": self.replayed_elements,
+            "replayed_records": self.replayed_records,
+            "deduped_results": self.deduped_results,
+            "results_emitted": self.results_emitted,
+            "late_records": self.late_records,
+            "shed_records": self.shed_records,
+            "mean_recovery_seconds": self.mean_recovery_seconds,
+            "total_recovery_seconds": self.total_recovery_seconds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RecoveryStats(restarts={self.restarts}, "
+            f"checkpoints={self.checkpoints_taken}, "
+            f"replayed={self.replayed_records} records, "
+            f"deduped={self.deduped_results}, "
+            f"recovery={self.total_recovery_seconds * 1000:.1f}ms)"
+        )
 
 
 class LatencyStats:

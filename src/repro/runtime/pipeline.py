@@ -115,11 +115,18 @@ class Pipeline:
             self.flush()
 
     def flush(self) -> None:
-        """Drain the ingestion buffer into the window operator."""
+        """Drain the ingestion buffer into the window operator.
+
+        The buffer is cleared only after ``process_batch`` returns: if
+        the operator raises mid-batch, the buffered elements survive so
+        a supervisor can restore the operator and retry without losing
+        the in-flight batch.
+        """
         if not self._batch:
             return
-        batch, self._batch = self._batch, []
-        for result in self.window_operator.process_batch(batch):
+        results = self.window_operator.process_batch(self._batch)
+        self._batch = []
+        for result in results:
             self.sink.emit(result)
 
     def run(self, elements: Iterable[StreamElement]) -> None:

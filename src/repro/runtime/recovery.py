@@ -1,0 +1,475 @@
+"""Supervised execution: checkpoint-and-replay recovery with
+exactly-once re-emission.
+
+The paper runs its operators inside Flink and inherits checkpointing,
+restarts, and exactly-once sinks for free.  This module is that story
+for our substrate: :class:`SupervisedPipeline` drives a window operator
+over a replayable source, takes periodic snapshots (always at batch
+boundaries, never of half-applied batches), and on any operator failure
+restores the last snapshot, rewinds the source cursor, and replays the
+tail under a retry/backoff budget.
+
+Exactly-once re-emission
+------------------------
+Replayed input re-produces results the sink already saw.  Operators are
+deterministic (same state + same elements => same emissions, the
+property the checkpoint tests assert), so the supervisor keeps the list
+of results delivered since the last checkpoint and, during replay,
+matches re-emitted results against that list one-for-one -- suppressing
+the duplicates and *verifying* they are bit-identical to what was
+delivered (a mismatch means replay diverged and raises
+:class:`RecoveryError` rather than silently corrupting the sink).  The
+sink therefore observes every window result exactly once, crash or no
+crash.
+
+Graceful degradation
+--------------------
+Two failure modes degrade explicitly instead of silently:
+
+* late records beyond the allowed lateness are handed to a side channel
+  (``late_record_sink``) via the operator's ``on_late_record`` hook and
+  counted, instead of vanishing;
+* a :class:`MemoryGuard` bounds operator state: when the limit is
+  exceeded the pipeline signals :class:`MemoryPressure` and sheds
+  records (watermarks always pass) until state falls below the resume
+  threshold.  Shed decisions are recorded per cursor range so a replay
+  after a crash repeats them deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Deque, List, Optional, Sequence
+
+from ..core.operator_base import WindowOperator
+from ..core.types import Record, StreamElement, WindowResult
+from .checkpoint import restore, snapshot
+from .faults import SourceHiccup
+from .memory import deep_sizeof
+from .metrics import RecoveryStats
+from .sources import ReplayableSource
+
+__all__ = [
+    "RestartPolicy",
+    "PipelineFailed",
+    "RecoveryError",
+    "MemoryPressure",
+    "MemoryGuard",
+    "Checkpoint",
+    "SupervisedPipeline",
+]
+
+
+class RecoveryError(RuntimeError):
+    """Replay diverged from the pre-crash run (determinism violated)."""
+
+
+class PipelineFailed(RuntimeError):
+    """The restart budget is exhausted; the last failure is the cause."""
+
+    def __init__(self, message: str, failures: List[BaseException]) -> None:
+        super().__init__(message)
+        #: Every failure observed, oldest first.
+        self.failures = failures
+
+
+class RestartPolicy:
+    """Retry/backoff budget for supervised execution.
+
+    ``max_restarts`` bounds operator restarts and, independently,
+    consecutive source-read retries.  The delay before restart ``n``
+    (0-based) is ``backoff_seconds * backoff_factor**n``, capped at
+    ``max_backoff_seconds``.
+    """
+
+    __slots__ = ("max_restarts", "backoff_seconds", "backoff_factor", "max_backoff_seconds")
+
+    def __init__(
+        self,
+        max_restarts: int = 3,
+        backoff_seconds: float = 0.0,
+        backoff_factor: float = 2.0,
+        max_backoff_seconds: float = 30.0,
+    ) -> None:
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        if backoff_seconds < 0 or max_backoff_seconds < 0:
+            raise ValueError("backoff durations must be non-negative")
+        if backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {backoff_factor}")
+        self.max_restarts = max_restarts
+        self.backoff_seconds = backoff_seconds
+        self.backoff_factor = backoff_factor
+        self.max_backoff_seconds = max_backoff_seconds
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before the given 0-based restart attempt."""
+        if self.backoff_seconds == 0.0:
+            return 0.0
+        return min(
+            self.max_backoff_seconds,
+            self.backoff_seconds * self.backoff_factor**attempt,
+        )
+
+
+class MemoryPressure:
+    """Explicit load-shedding signal handed to ``on_pressure``."""
+
+    __slots__ = ("state_bytes", "limit_bytes", "cursor")
+
+    def __init__(self, state_bytes: int, limit_bytes: int, cursor: int) -> None:
+        self.state_bytes = state_bytes
+        self.limit_bytes = limit_bytes
+        self.cursor = cursor
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MemoryPressure({self.state_bytes} > {self.limit_bytes} bytes "
+            f"at cursor {self.cursor})"
+        )
+
+
+class MemoryGuard:
+    """Bounded-memory policy over an operator's retained state.
+
+    ``max_state_bytes`` is the shed threshold (measured with
+    :func:`repro.runtime.memory.deep_sizeof` over ``state_objects()``);
+    shedding stops once state falls to ``resume_state_bytes`` (default:
+    three quarters of the limit).  ``check_every`` throttles how often
+    the measurement runs while below the limit.
+    """
+
+    __slots__ = ("max_state_bytes", "resume_state_bytes", "check_every")
+
+    def __init__(
+        self,
+        max_state_bytes: int,
+        *,
+        resume_state_bytes: Optional[int] = None,
+        check_every: int = 256,
+    ) -> None:
+        if max_state_bytes <= 0:
+            raise ValueError(f"max_state_bytes must be positive, got {max_state_bytes}")
+        if check_every < 1:
+            raise ValueError(f"check_every must be >= 1, got {check_every}")
+        self.max_state_bytes = max_state_bytes
+        self.resume_state_bytes = (
+            resume_state_bytes
+            if resume_state_bytes is not None
+            else max_state_bytes * 3 // 4
+        )
+        if self.resume_state_bytes > max_state_bytes:
+            raise ValueError("resume_state_bytes must not exceed max_state_bytes")
+        self.check_every = check_every
+
+    def state_bytes(self, operator: WindowOperator) -> int:
+        return sum(deep_sizeof(obj) for obj in operator.state_objects())
+
+
+class Checkpoint:
+    """One durable recovery point: operator snapshot + source cursor."""
+
+    __slots__ = ("blob", "cursor", "records_processed")
+
+    def __init__(self, blob: bytes, cursor: int, records_processed: int) -> None:
+        self.blob = blob
+        self.cursor = cursor
+        self.records_processed = records_processed
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Checkpoint(cursor={self.cursor}, "
+            f"records={self.records_processed}, {len(self.blob)} bytes)"
+        )
+
+
+def _count_records(elements: Sequence[StreamElement]) -> int:
+    return sum(1 for element in elements if isinstance(element, Record))
+
+
+class SupervisedPipeline:
+    """Crash-surviving driver: source cursor + checkpoints + replay.
+
+    Parameters
+    ----------
+    operator:
+        The window operator to supervise.  A wrapper with a true
+        ``transient`` attribute (e.g.
+        :class:`~repro.runtime.faults.FaultInjectingOperator`) is kept
+        alive across restarts and only its ``inner`` operator is
+        snapshotted/restored -- fault bookkeeping is environment, not
+        state.
+    sink:
+        Anything with an ``emit(result)`` method; observes each window
+        result exactly once.
+    checkpoint_every:
+        Snapshot cadence in records; evaluated at batch boundaries.
+    batch_size:
+        Elements per :meth:`WindowOperator.process_batch` call.
+    restart_policy:
+        Retry/backoff budget (default: 3 restarts, no backoff).
+    memory_guard / on_pressure:
+        Optional bounded-memory degradation (see module docstring).
+    late_record_sink:
+        Optional callable (or object with ``append``) receiving records
+        dropped beyond the allowed lateness, exactly once each.
+    sleep / clock:
+        Injectable for tests; default ``time.sleep`` /
+        ``time.perf_counter``.
+    """
+
+    def __init__(
+        self,
+        operator: WindowOperator,
+        sink,
+        *,
+        checkpoint_every: int = 1_000,
+        batch_size: int = 1,
+        restart_policy: Optional[RestartPolicy] = None,
+        memory_guard: Optional[MemoryGuard] = None,
+        on_pressure: Optional[Callable[[MemoryPressure], None]] = None,
+        late_record_sink=None,
+        stats: Optional[RecoveryStats] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self._operator = operator
+        self.sink = sink
+        self.checkpoint_every = checkpoint_every
+        self.batch_size = batch_size
+        self.policy = restart_policy if restart_policy is not None else RestartPolicy()
+        self.guard = memory_guard
+        self.on_pressure = on_pressure
+        if late_record_sink is not None and not callable(late_record_sink):
+            late_record_sink = late_record_sink.append
+        self._late_sink = late_record_sink
+        self.stats = stats if stats is not None else RecoveryStats()
+        self._sleep = sleep
+        self._clock = clock
+
+        self.checkpoint: Optional[Checkpoint] = None
+        self._failures: List[BaseException] = []
+        # Cursor ranges [start, end) whose records were shed; decisions
+        # are replayed from this log, never re-taken, so recovery replay
+        # filters exactly the records the original pass filtered.
+        self._shed_ranges: List[List[Optional[int]]] = []
+        self._decided_to = 0
+        self._high_cursor = 0
+        self._last_guard_check = 0
+        # Late-record reports are buffered per batch and flushed only
+        # when the batch succeeds on its first (non-replay) pass, so a
+        # crashed half-batch or a replayed batch never reports twice.
+        self._late_buffer: List[Record] = []
+
+    # ------------------------------------------------------------------
+    # operator (un)wrapping
+
+    @property
+    def operator(self) -> WindowOperator:
+        """The supervised operator (the wrapper, when one was given)."""
+        return self._operator
+
+    def _snapshot_target(self) -> WindowOperator:
+        operator = self._operator
+        if getattr(operator, "transient", False):
+            return operator.inner
+        return operator
+
+    def _reseat(self, restored: WindowOperator) -> None:
+        operator = self._operator
+        if getattr(operator, "transient", False):
+            operator.inner = restored
+        else:
+            self._operator = restored
+        self._install_late_hook()
+
+    def _install_late_hook(self) -> None:
+        self._snapshot_target().on_late_record = self._on_late_record
+
+    def _on_late_record(self, record: Record) -> None:
+        self._late_buffer.append(record)
+
+    def _flush_late_buffer(self, replayed_batch: bool) -> None:
+        buffered, self._late_buffer = self._late_buffer, []
+        if replayed_batch:
+            return  # already reported before the crash: exactly once
+        for record in buffered:
+            self.stats.late_records += 1
+            if self._late_sink is not None:
+                self._late_sink(record)
+
+    # ------------------------------------------------------------------
+    # checkpointing
+
+    def _take_checkpoint(self, cursor: int, records_processed: int) -> None:
+        self.checkpoint = Checkpoint(
+            snapshot(self._snapshot_target()), cursor, records_processed
+        )
+        self.stats.checkpoints_taken += 1
+
+    # ------------------------------------------------------------------
+    # memory guard / load shedding
+
+    def _shed_filter(self, cursor: int, batch: List[StreamElement]) -> List[StreamElement]:
+        """Apply (and, past the decision horizon, extend) the shed log."""
+        end = cursor + len(batch)
+        if cursor >= self._decided_to:
+            self._decide_shedding(cursor, end)
+            self._decided_to = end
+            count_new = True
+        else:
+            count_new = False
+        if not self._cursor_shed(cursor):
+            return batch
+        kept = [e for e in batch if not isinstance(e, Record)]
+        if count_new:
+            self.stats.shed_records += len(batch) - len(kept)
+        return kept
+
+    def _cursor_shed(self, cursor: int) -> bool:
+        for start, end in self._shed_ranges:
+            if start <= cursor and (end is None or cursor < end):
+                return True
+        return False
+
+    def _decide_shedding(self, cursor: int, end: int) -> None:
+        guard = self.guard
+        if guard is None:
+            return
+        open_range = self._shed_ranges and self._shed_ranges[-1][1] is None
+        if open_range:
+            # Shedding: re-measure every batch to resume promptly.
+            if guard.state_bytes(self._snapshot_target()) <= guard.resume_state_bytes:
+                self._shed_ranges[-1][1] = cursor
+        else:
+            records_unchecked = end - self._last_guard_check
+            if records_unchecked < guard.check_every:
+                return
+            self._last_guard_check = end
+            state_bytes = guard.state_bytes(self._snapshot_target())
+            if state_bytes > guard.max_state_bytes:
+                self._shed_ranges.append([cursor, None])
+                if self.on_pressure is not None:
+                    self.on_pressure(
+                        MemoryPressure(state_bytes, guard.max_state_bytes, cursor)
+                    )
+
+    # ------------------------------------------------------------------
+    # the supervision loop
+
+    def run(self, elements) -> RecoveryStats:
+        """Drain the stream, surviving failures; returns the run's stats.
+
+        ``elements`` may be a :class:`ReplayableSource` (e.g. a
+        :class:`~repro.runtime.faults.FaultySource`) or any sequence,
+        which is materialized into one.
+        """
+        source = (
+            elements
+            if isinstance(elements, ReplayableSource)
+            else ReplayableSource(elements)
+        )
+        stats = self.stats
+        policy = self.policy
+        self._install_late_hook()
+        self._last_guard_check = 0
+        self._late_buffer.clear()
+
+        self._take_checkpoint(0, 0)
+        cursor = 0
+        records_done = 0
+        records_since_checkpoint = 0
+        # Results delivered to the sink since the last checkpoint, and
+        # the queue of those a replay is expected to re-produce.
+        since_checkpoint: List[WindowResult] = []
+        pending_replay: Deque[WindowResult] = deque()
+        restarts = 0
+        hiccups_in_row = 0
+        total = len(source)
+
+        while cursor < total:
+            try:
+                batch = source.read(cursor, self.batch_size)
+            except SourceHiccup as exc:
+                # Transient: operator state is intact; retry the read.
+                hiccups_in_row += 1
+                stats.source_retries += 1
+                self._failures.append(exc)
+                if hiccups_in_row > policy.max_restarts:
+                    raise PipelineFailed(
+                        f"source failed {hiccups_in_row} consecutive reads "
+                        f"at cursor {cursor}",
+                        self._failures,
+                    ) from exc
+                self._sleep(policy.delay(hiccups_in_row - 1))
+                continue
+            hiccups_in_row = 0
+
+            to_process = self._shed_filter(cursor, batch)
+            replayed_batch = cursor + len(batch) <= self._high_cursor
+            try:
+                results = self._operator.process_batch(to_process)
+            except Exception as exc:
+                self._late_buffer.clear()
+                restarts += 1
+                self._failures.append(exc)
+                if restarts > policy.max_restarts:
+                    raise PipelineFailed(
+                        f"operator failed {restarts} times "
+                        f"(max_restarts={policy.max_restarts}); giving up "
+                        f"at cursor {cursor}",
+                        self._failures,
+                    ) from exc
+                checkpoint = self.checkpoint
+                began = self._clock()
+                self._reseat(restore(checkpoint.blob))
+                replayed_elements = cursor - checkpoint.cursor
+                replayed_records = records_done - checkpoint.records_processed
+                cursor = checkpoint.cursor
+                records_done = checkpoint.records_processed
+                records_since_checkpoint = 0
+                pending_replay = deque(since_checkpoint)
+                stats.record_recovery(
+                    self._clock() - began, replayed_elements, replayed_records
+                )
+                self._sleep(policy.delay(restarts - 1))
+                continue
+
+            self._flush_late_buffer(replayed_batch)
+            # Exactly-once delivery: replayed results must match what the
+            # sink already observed; only genuinely new results are
+            # emitted.
+            for result in results:
+                if pending_replay:
+                    expected = pending_replay.popleft()
+                    if expected != result:
+                        raise RecoveryError(
+                            "replay diverged from the pre-crash run: "
+                            f"expected {expected!r}, re-emitted {result!r}"
+                        )
+                    stats.deduped_results += 1
+                else:
+                    self.sink.emit(result)
+                    since_checkpoint.append(result)
+                    stats.results_emitted += 1
+
+            cursor += len(batch)
+            if cursor > self._high_cursor:
+                self._high_cursor = cursor
+            batch_records = _count_records(batch)
+            records_done += batch_records
+            records_since_checkpoint += batch_records
+            if records_since_checkpoint >= self.checkpoint_every:
+                self._take_checkpoint(cursor, records_done)
+                records_since_checkpoint = 0
+                # Results not yet re-matched stay expected for the next
+                # replay window; everything older is safely behind the
+                # new checkpoint.
+                since_checkpoint = list(pending_replay)
+
+        return stats

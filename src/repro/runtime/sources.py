@@ -12,7 +12,13 @@ from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from ..core.types import Record, StreamElement
 
-__all__ = ["ListSource", "GeneratorSource", "batched", "paced_replay"]
+__all__ = [
+    "ListSource",
+    "GeneratorSource",
+    "ReplayableSource",
+    "batched",
+    "paced_replay",
+]
 
 
 def batched(
@@ -50,6 +56,28 @@ class ListSource:
 
     def records(self) -> List[Record]:
         return [e for e in self._elements if isinstance(e, Record)]
+
+
+class ReplayableSource(ListSource):
+    """Cursor-addressable stream view for checkpoint-and-replay.
+
+    A supervisor reads the stream in cursor order via :meth:`read`; after
+    a failure it rewinds the cursor to the last checkpoint's position and
+    re-reads the tail.  Reads are pure (no consumption state lives in the
+    source), so the same source can be replayed any number of times.
+    """
+
+    def read(self, cursor: int, count: int) -> List[StreamElement]:
+        """Return up to ``count`` elements starting at ``cursor``.
+
+        The final read may be shorter; reading at/after the end returns
+        an empty list.
+        """
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        if count < 1:
+            raise ValueError(f"read count must be >= 1, got {count}")
+        return self._elements[cursor : cursor + count]
 
 
 class GeneratorSource:

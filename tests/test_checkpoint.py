@@ -1,12 +1,22 @@
 """Tests for operator checkpointing (snapshot / restore / wrapper)."""
 
+import pickle
+
 import pytest
 
 from conftest import final_values, run_operator, shuffled_with_disorder
 from repro import GeneralSlicingOperator, Record, Watermark
 from repro.aggregations import Median, Sum
 from repro.baselines import AggregateTreeOperator, TupleBufferOperator
-from repro.runtime.checkpoint import CheckpointingOperator, restore, snapshot
+from repro.runtime.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CHECKPOINT_MAGIC,
+    CheckpointFormatError,
+    CheckpointingOperator,
+    SnapshotError,
+    restore,
+    snapshot,
+)
 from repro.windows import CountTumblingWindow, SessionWindow, TumblingWindow
 
 
@@ -46,10 +56,15 @@ class TestSnapshotRestore:
         assert any(r.end == 30 for r in results)
 
     def test_restore_rejects_non_operator(self):
-        import pickle
-
+        # A well-formed blob whose payload is not an operator: the
+        # header check passes, the type check must still catch it.
+        blob = (
+            CHECKPOINT_MAGIC
+            + CHECKPOINT_FORMAT_VERSION.to_bytes(2, "big")
+            + pickle.dumps({"not": "an operator"})
+        )
         with pytest.raises(TypeError):
-            restore(pickle.dumps({"not": "an operator"}))
+            restore(blob)
 
     @pytest.mark.parametrize(
         "factory",
@@ -124,3 +139,123 @@ class TestCheckpointingOperator:
         blob = guarded.checkpoint()
         assert guarded.records_since_snapshot == 0
         assert restore(blob) is not None
+
+
+class TestCheckpointFormat:
+    """Versioned header: restore() refuses anything it cannot trust."""
+
+    def test_snapshot_carries_magic_and_version(self):
+        blob = snapshot(build_operator())
+        assert blob[:4] == CHECKPOINT_MAGIC
+        assert int.from_bytes(blob[4:6], "big") == CHECKPOINT_FORMAT_VERSION
+
+    def test_headered_blob_roundtrips(self):
+        operator = build_operator()
+        run_operator(operator, [Record(t, 1.0) for t in range(20)])
+        clone = restore(snapshot(operator))
+        assert isinstance(clone, GeneralSlicingOperator)
+
+    def test_raw_pickle_rejected(self):
+        # Pre-versioning blobs (bare pickle, no header) are incompatible.
+        with pytest.raises(CheckpointFormatError, match="header"):
+            restore(pickle.dumps(build_operator()))
+
+    def test_truncated_blob_rejected(self):
+        blob = snapshot(build_operator())
+        with pytest.raises(CheckpointFormatError):
+            restore(blob[:5])
+
+    def test_future_version_rejected(self):
+        blob = snapshot(build_operator())
+        future = CHECKPOINT_MAGIC + (CHECKPOINT_FORMAT_VERSION + 1).to_bytes(2, "big")
+        with pytest.raises(CheckpointFormatError, match="not supported"):
+            restore(future + blob[6:])
+
+    def test_corrupt_payload_rejected(self):
+        blob = bytearray(snapshot(build_operator()))
+        blob[10:30] = b"\x00" * 20  # bit-rot inside the pickle payload
+        with pytest.raises(CheckpointFormatError, match="corrupt"):
+            restore(bytes(blob))
+
+    def test_non_bytes_rejected(self):
+        with pytest.raises(CheckpointFormatError):
+            restore("not bytes at all")
+
+
+class LambdaSum(Sum):
+    """Picklable class, unpicklable *instance* (closure in state)."""
+
+    def __init__(self):
+        super().__init__()
+        self.udf = lambda value: value
+
+
+class TestSnapshotErrors:
+    def test_unpicklable_udf_named_in_error(self):
+        operator = GeneralSlicingOperator(stream_in_order=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        bad_query = operator.add_query(TumblingWindow(20), LambdaSum())
+        run_operator(operator, [Record(t, 1.0) for t in range(5)])
+        with pytest.raises(SnapshotError) as excinfo:
+            snapshot(operator)
+        message = str(excinfo.value)
+        assert f"query {bad_query.query_id}" in message
+        assert "LambdaSum" in message
+
+    def test_checkpointing_operator_surfaces_snapshot_error(self):
+        inner = GeneralSlicingOperator(stream_in_order=True)
+        inner.add_query(TumblingWindow(10), LambdaSum())
+        with pytest.raises(SnapshotError):
+            CheckpointingOperator(inner, every=10)
+
+
+class TestCheckpointingBatches:
+    """Satellite fix: the wrapper must intercept process_batch too."""
+
+    def test_batched_ingestion_triggers_snapshots(self):
+        guarded = CheckpointingOperator(build_operator(), every=10)
+        stream = [Record(t, 1.0) for t in range(35)]
+        for start in range(0, 35, 7):
+            guarded.process_batch(stream[start : start + 7])
+        # Same cadence the tuple-at-a-time path guarantees: snapshots at
+        # the first batch boundary where >= 10 records accumulated.
+        assert guarded.snapshots_taken == 2
+        assert guarded.records_since_snapshot == 7
+
+    def test_batch_and_record_paths_equivalent_results(self):
+        plain = build_operator()
+        guarded = CheckpointingOperator(build_operator(), every=7)
+        stream = [Record(t, 1.0) for t in range(40)] + [Watermark(1000)]
+        expected = run_operator(plain, stream)
+        batched = []
+        for start in range(0, len(stream), 6):
+            batched.extend(guarded.process_batch(stream[start : start + 6]))
+        assert batched == expected
+
+    def test_watermarks_not_counted_as_records(self):
+        guarded = CheckpointingOperator(build_operator(), every=10)
+        batch = [Record(t, 1.0) for t in range(5)] + [Watermark(3)] * 5
+        guarded.process_batch(batch)
+        assert guarded.records_since_snapshot == 5
+        assert guarded.snapshots_taken == 0
+
+    def test_on_checkpoint_hook_receives_restorable_blob(self):
+        blobs = []
+        guarded = CheckpointingOperator(
+            build_operator(), every=10, on_checkpoint=blobs.append
+        )
+        guarded.process_batch([Record(t, 1.0) for t in range(25)])
+        assert len(blobs) == 1
+        assert isinstance(restore(blobs[0]), GeneralSlicingOperator)
+
+    def test_recovery_replay_from_batch_path(self):
+        guarded = CheckpointingOperator(build_operator(), every=10)
+        stream = [Record(t, 1.0) for t in range(37)]
+        for start in range(0, 37, 4):
+            guarded.process_batch(stream[start : start + 4])
+        recovered = restore(guarded.last_snapshot)
+        replay = stream[len(stream) - guarded.records_since_snapshot :]
+        recovered.process_batch(replay)
+        assert final_values(guarded, [Watermark(10_000)]) == final_values(
+            recovered, [Watermark(10_000)]
+        )

@@ -7,6 +7,7 @@ bounded state under eviction, slice-chain well-formedness, conservation
 of records, and output sanity.
 """
 
+import os
 import random
 
 import pytest
@@ -14,12 +15,24 @@ import pytest
 from repro import GeneralSlicingOperator, Record, Watermark
 from repro.aggregations import Average, Max, Median, Sum
 from repro.core.measures import MeasureKind
+from repro.runtime import (
+    CollectSink,
+    FaultInjectingOperator,
+    FaultPlan,
+    RestartPolicy,
+    SupervisedPipeline,
+)
 from repro.windows import (
     CountTumblingWindow,
     SessionWindow,
     SlidingWindow,
     TumblingWindow,
 )
+
+#: All soak workloads derive their RNG streams from this seed so a
+#: failing run is reproducible from the reported environment alone.
+#: Override with ``REPRO_SOAK_SEED`` to explore other schedules.
+SOAK_SEED = int(os.environ.get("REPRO_SOAK_SEED", "17"))
 
 
 def check_chain_invariants(operator):
@@ -43,7 +56,7 @@ def check_chain_invariants(operator):
 
 class TestLongRunningMixedWorkload:
     def test_100k_records_with_disorder_and_eviction(self):
-        rng = random.Random(17)
+        rng = random.Random(SOAK_SEED)
         operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=500)
         operator.add_query(TumblingWindow(100), Sum())
         operator.add_query(SlidingWindow(300, 100), Max())
@@ -83,7 +96,7 @@ class TestLongRunningMixedWorkload:
         check_chain_invariants(operator)
 
     def test_count_chain_soak(self):
-        rng = random.Random(23)
+        rng = random.Random(SOAK_SEED + 6)
         operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=2_000)
         operator.add_query(CountTumblingWindow(500), Sum())
 
@@ -128,9 +141,9 @@ class TestLongRunningMixedWorkload:
 
 
 class TestRecordConservation:
-    @pytest.mark.parametrize("seed", range(3))
-    def test_all_records_attributed_before_eviction(self, seed):
-        rng = random.Random(seed)
+    @pytest.mark.parametrize("offset", range(3))
+    def test_all_records_attributed_before_eviction(self, offset):
+        rng = random.Random(SOAK_SEED + 100 + offset)
         operator = GeneralSlicingOperator(
             stream_in_order=False, allowed_lateness=10**9
         )
@@ -152,3 +165,75 @@ class TestRecordConservation:
             value for (qid, _, _), value in final.items() if qid == 0
         )
         assert tumbling_total == count
+
+
+class TestCrashRecoverResumeSoak:
+    """A long supervised run through repeated crash/recover/resume
+    cycles must end bit-identical to an uninterrupted run, with a
+    healthy slice chain."""
+
+    def _stream(self, n_records):
+        rng = random.Random(SOAK_SEED + 200)
+        pending = []
+        elements = []
+        ts = 0
+        high = 0
+        emitted = 0
+        while emitted < n_records:
+            ts += 1 if emitted % 400 else 60
+            record = Record(ts, float(ts % 13))
+            if rng.random() < 0.15:
+                pending.append(record)
+            else:
+                elements.append(record)
+                emitted += 1
+                high = max(high, record.ts)
+            if pending and rng.random() < 0.2:
+                late = pending.pop(rng.randrange(len(pending)))
+                elements.append(late)
+                emitted += 1
+                high = max(high, late.ts)
+            if emitted and emitted % 500 == 0:
+                elements.append(Watermark(high - 300))
+        elements.append(Watermark(high + 10_000))
+        return elements
+
+    def _factory(self):
+        operator = GeneralSlicingOperator(
+            stream_in_order=False, allowed_lateness=500
+        )
+        operator.add_query(TumblingWindow(100), Sum())
+        operator.add_query(SlidingWindow(300, 100), Max())
+        operator.add_query(SessionWindow(40), Average())
+        return operator
+
+    def test_soak_crash_recover_resume(self):
+        n_records = 30_000
+        elements = self._stream(n_records)
+
+        expected_sink = CollectSink()
+        uninterrupted = self._factory()
+        for element in elements:
+            for result in uninterrupted.process(element):
+                expected_sink.emit(result)
+
+        plan = FaultPlan(SOAK_SEED + 201, n_records, crashes=5, errors=2)
+        wrapped = FaultInjectingOperator(self._factory(), plan=plan)
+        sink = CollectSink()
+        pipeline = SupervisedPipeline(
+            wrapped,
+            sink,
+            checkpoint_every=2_500,
+            batch_size=32,
+            restart_policy=RestartPolicy(max_restarts=10),
+            sleep=lambda _seconds: None,
+        )
+        stats = pipeline.run(elements)
+
+        assert stats.restarts == 7
+        assert stats.checkpoints_taken >= n_records // 2_500
+        assert sink.results == expected_sink.results
+        # The recovered operator is structurally healthy, not merely
+        # producing the right output.
+        check_chain_invariants(wrapped.inner)
+        assert wrapped.inner.total_slices() < 200
