@@ -37,6 +37,7 @@ from .core import (
     Query,
     Record,
     StreamOrderViolation,
+    Tracer,
     Watermark,
     WindowOperator,
     WindowResult,
@@ -55,5 +56,6 @@ __all__ = [
     "WindowResult",
     "Query",
     "WorkloadCharacteristics",
+    "Tracer",
     "__version__",
 ]

@@ -137,8 +137,13 @@ class BucketsOperator(WindowOperator):
             if isinstance(window, SessionWindow):
                 self._sessions.setdefault(query.query_id, [])
             elif isinstance(window, LastNEveryWindow) or (
-                window.measure_kind is MeasureKind.COUNT and self.keep_records
+                window.measure_kind is MeasureKind.COUNT
+                and (self.keep_records or not self.stream_in_order)
             ):
+                # Count positions are event-time ranks.  Partials-only
+                # buckets can use arrival order as the rank on in-order
+                # streams, but a late record shifts every later rank, so
+                # out-of-order count queries must buffer records too.
                 self._count_records.setdefault(query.query_id, [])
             if query.aggregation.kind.value == "holistic" and not self.keep_records:
                 raise ValueError(

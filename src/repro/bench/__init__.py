@@ -1,0 +1,39 @@
+"""Tracked benchmark subsystem (``python -m repro.bench``).
+
+Complements the pytest-benchmark suites under ``benchmarks/``: those
+explore parameter grids interactively; this package tracks a fixed
+scenario registry over time, writing schema-versioned ``BENCH_<n>.json``
+files that ``--compare`` diffs for regressions.  See
+docs/observability.md for the schema and workflow.
+"""
+
+from .compare import DEFAULT_THRESHOLD, ComparisonRow, compare_results, format_report
+from .environment import FINGERPRINT_FIELDS, fingerprint
+from .harness import (
+    RESULT_KIND,
+    SCHEMA_VERSION,
+    load_result,
+    next_bench_path,
+    run_scenarios,
+    write_result,
+)
+from .scenarios import SCENARIOS, Scenario, scenario, select
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "scenario",
+    "select",
+    "run_scenarios",
+    "write_result",
+    "load_result",
+    "next_bench_path",
+    "SCHEMA_VERSION",
+    "RESULT_KIND",
+    "compare_results",
+    "format_report",
+    "ComparisonRow",
+    "DEFAULT_THRESHOLD",
+    "fingerprint",
+    "FINGERPRINT_FIELDS",
+]

@@ -1,0 +1,131 @@
+"""Command-line entry point: ``python -m repro.bench``.
+
+Typical uses::
+
+    python -m repro.bench --smoke              # fast CI pass, BENCH_<n>.json
+    python -m repro.bench -k ingest -k keyed   # only matching scenarios
+    python -m repro.bench --list               # show the registry
+    python -m repro.bench --smoke --compare BENCH_0.json
+                                               # regress-check vs a baseline;
+                                               # exits 1 on regression
+
+``REPRO_BENCH_SMOKE=1`` in the environment implies ``--smoke`` so CI
+wrappers don't need to thread flags through.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .compare import DEFAULT_THRESHOLD, compare_results, format_report
+from .harness import load_result, run_scenarios, write_result
+from .scenarios import SCENARIOS, select
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the tracked benchmark registry and write BENCH_<n>.json.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small sizes / fewer repeats; also enabled by REPRO_BENCH_SMOKE=1",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    parser.add_argument(
+        "-k",
+        dest="patterns",
+        action="append",
+        default=[],
+        metavar="SUBSTR",
+        help="run only scenarios whose name contains SUBSTR (repeatable)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None, help="measured repeats per scenario"
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=None, help="unmeasured warmup runs per scenario"
+    )
+    parser.add_argument(
+        "--trim",
+        type=int,
+        default=1,
+        help="drop the N slowest repeats before aggregating (default 1)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="result file path (default: next free BENCH_<n>.json at repo root)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PREV.json",
+        default=None,
+        help="after running, diff against a previous result; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"relative noise threshold for --compare (default {DEFAULT_THRESHOLD})",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    smoke = args.smoke or os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+    if args.list:
+        for scn in SCENARIOS.values():
+            size = scn.size(smoke)
+            tags = ", ".join(scn.tags)
+            print(f"{scn.name:<28} n={size:<8} [{tags}]")
+        return 0
+
+    scenarios = select(args.patterns)
+    if not scenarios:
+        print(f"no scenarios match {args.patterns!r}", file=sys.stderr)
+        return 2
+
+    repeats = args.repeats if args.repeats is not None else 5
+    warmup = args.warmup if args.warmup is not None else 1
+    trim = min(args.trim, max(0, repeats - 1))
+
+    previous = None
+    if args.compare is not None:
+        previous = load_result(args.compare)  # fail fast, before the run
+
+    result = run_scenarios(
+        scenarios,
+        smoke=smoke,
+        repeats=repeats,
+        warmup=warmup,
+        trim=trim,
+        progress=print,
+    )
+    path = write_result(result, args.out)
+    print(f"wrote {path}")
+
+    if previous is not None:
+        rows = compare_results(previous, result, threshold=args.threshold)
+        print()
+        print(
+            format_report(
+                rows, threshold=args.threshold, previous=previous, current=result
+            )
+        )
+        if any(row.status == "regression" for row in rows):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Regression detection between two tracked benchmark runs.
+
+``python -m repro.bench --compare PREV.json`` runs the registry, then
+diffs the fresh numbers against ``PREV.json``.  A scenario regresses
+when its throughput drops by more than the noise threshold (relative,
+default 15 %); anything inside the band is ``ok``, a symmetric rise is
+reported as ``improved`` but never fails the run.  Scenarios present on
+only one side are ``new`` / ``missing`` -- informational, not failures,
+so adding a scenario doesn't break an existing baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["ComparisonRow", "compare_results", "format_report", "DEFAULT_THRESHOLD"]
+
+#: Relative throughput drop tolerated before a scenario counts as a
+#: regression.  Generous on purpose: single-machine medians of a few
+#: repeats jitter, and a false alarm in CI costs more than a slightly
+#: late catch.
+DEFAULT_THRESHOLD = 0.15
+
+
+class ComparisonRow:
+    """One scenario's verdict: previous vs current throughput."""
+
+    __slots__ = ("name", "status", "previous", "current", "delta")
+
+    def __init__(
+        self,
+        name: str,
+        status: str,
+        previous: Optional[float],
+        current: Optional[float],
+        delta: Optional[float],
+    ) -> None:
+        self.name = name
+        self.status = status  # ok | regression | improved | new | missing
+        self.previous = previous
+        self.current = current
+        self.delta = delta  # relative change, current/previous - 1
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "previous": self.previous,
+            "current": self.current,
+            "delta": self.delta,
+        }
+
+
+def _throughputs(document: Dict[str, object]) -> Dict[str, float]:
+    # Prefer the best-of-repeats rate: for short runs the minimum time
+    # is a far lower-variance estimator than the median, which keeps
+    # same-machine self-comparisons inside the noise threshold.
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, dict):
+        raise ValueError("result document has no 'scenarios' section")
+    return {
+        name: float(entry.get("best_records_per_second", entry["records_per_second"]))
+        for name, entry in scenarios.items()
+        if isinstance(entry, dict) and "records_per_second" in entry
+    }
+
+
+def compare_results(
+    previous: Dict[str, object],
+    current: Dict[str, object],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[ComparisonRow]:
+    """Diff two result documents; rows sorted worst-regression first."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    prev_rates = _throughputs(previous)
+    curr_rates = _throughputs(current)
+    rows: List[ComparisonRow] = []
+    for name in sorted(set(prev_rates) | set(curr_rates)):
+        before = prev_rates.get(name)
+        after = curr_rates.get(name)
+        if before is None:
+            rows.append(ComparisonRow(name, "new", None, after, None))
+            continue
+        if after is None:
+            rows.append(ComparisonRow(name, "missing", before, None, None))
+            continue
+        delta = (after / before - 1.0) if before > 0 else 0.0
+        if delta < -threshold:
+            status = "regression"
+        elif delta > threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        rows.append(ComparisonRow(name, status, before, after, delta))
+    rows.sort(key=lambda row: (row.delta is None, row.delta))
+    return rows
+
+
+def _comparability_warnings(
+    previous: Dict[str, object], current: Dict[str, object]
+) -> List[str]:
+    """Warn when the two runs are not apples-to-apples."""
+    warnings: List[str] = []
+    prev_fp = previous.get("fingerprint") or {}
+    curr_fp = current.get("fingerprint") or {}
+    for field, label in (("cpu", "CPU"), ("python", "Python"), ("hostname", "host")):
+        if prev_fp.get(field) != curr_fp.get(field):
+            warnings.append(
+                f"{label} differs: {prev_fp.get(field)!r} vs {curr_fp.get(field)!r}"
+            )
+    prev_cfg = previous.get("config") or {}
+    curr_cfg = current.get("config") or {}
+    if prev_cfg.get("smoke") != curr_cfg.get("smoke"):
+        warnings.append(
+            f"smoke mode differs: {prev_cfg.get('smoke')!r} vs {curr_cfg.get('smoke')!r}"
+        )
+    return warnings
+
+
+def format_report(
+    rows: List[ComparisonRow],
+    *,
+    threshold: float,
+    previous: Optional[Dict[str, object]] = None,
+    current: Optional[Dict[str, object]] = None,
+) -> str:
+    """Human-readable comparison table plus verdict line."""
+    lines: List[str] = []
+    if previous is not None and current is not None:
+        for warning in _comparability_warnings(previous, current):
+            lines.append(f"WARNING: {warning}")
+    header = f"{'scenario':<28} {'previous':>14} {'current':>14} {'delta':>8}  status"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        prev = f"{row.previous:,.0f}" if row.previous is not None else "-"
+        curr = f"{row.current:,.0f}" if row.current is not None else "-"
+        delta = f"{row.delta:+.1%}" if row.delta is not None else "-"
+        lines.append(f"{row.name:<28} {prev:>14} {curr:>14} {delta:>8}  {row.status}")
+    regressions = [row for row in rows if row.status == "regression"]
+    if regressions:
+        lines.append(
+            f"FAIL: {len(regressions)} scenario(s) regressed beyond "
+            f"{threshold:.0%}: " + ", ".join(row.name for row in regressions)
+        )
+    else:
+        lines.append(f"OK: no regressions beyond {threshold:.0%}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Environment fingerprint for tracked benchmark results.
+
+A benchmark number is meaningless without the machine and build that
+produced it.  Every ``BENCH_*.json`` embeds this fingerprint so
+``--compare`` can warn when two runs are not apples-to-apples (different
+CPU, Python, or commit) instead of silently comparing them.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+__all__ = ["fingerprint", "FINGERPRINT_FIELDS"]
+
+#: Fields every fingerprint carries (schema contract, see tests).
+FINGERPRINT_FIELDS = (
+    "python",
+    "implementation",
+    "platform",
+    "machine",
+    "cpu",
+    "cpu_count",
+    "hostname",
+    "commit",
+    "dirty",
+    "timestamp_utc",
+    "bench_scale",
+    "smoke",
+)
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model name (Linux /proc/cpuinfo, else platform)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+def _git(*args: str) -> Optional[str]:
+    try:
+        result = subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if result.returncode != 0:
+        return None
+    return result.stdout.strip()
+
+
+def fingerprint(*, smoke: bool = False) -> Dict[str, object]:
+    """Collect the environment description embedded in every result file."""
+    commit = _git("rev-parse", "HEAD")
+    status = _git("status", "--porcelain") if commit is not None else None
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu": _cpu_model(),
+        "cpu_count": os.cpu_count(),
+        "hostname": platform.node(),
+        "commit": commit,
+        "dirty": bool(status) if status is not None else None,
+        "timestamp_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
+        "smoke": smoke,
+    }

@@ -1,0 +1,180 @@
+"""Benchmark runner: warmup/repeat/trim, aggregation, and result files.
+
+A tracked benchmark run produces one schema-versioned JSON document::
+
+    {
+      "kind": "repro-bench",
+      "schema_version": 1,
+      "fingerprint": {...},              # see repro.bench.environment
+      "config": {"smoke": ..., "repeats": ..., "warmup": ..., "trim": ...},
+      "scenarios": {
+        "<name>": {
+          "size": 2500,
+          "records": 2500,
+          "seconds": [..per kept repeat..],
+          "records_per_second": <median of kept repeats>,
+          "best_records_per_second": <max over kept repeats>,
+          "results_emitted": ...,
+          "counters": {...},             # optional, from the last repeat
+          "metrics": {...},              # optional scenario extras
+        }, ...
+      }
+    }
+
+Result files are written as ``BENCH_<n>.json`` at the repository root
+(next free index), so successive runs line up chronologically and
+``--compare`` can diff any two.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import statistics
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .environment import fingerprint
+from .scenarios import Scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RESULT_KIND",
+    "run_scenarios",
+    "next_bench_path",
+    "write_result",
+    "load_result",
+    "repo_root",
+]
+
+SCHEMA_VERSION = 1
+RESULT_KIND = "repro-bench"
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def _aggregate_seconds(seconds: List[float], trim: int) -> List[float]:
+    """Drop the ``trim`` slowest repeats (noise spikes), keep the rest."""
+    if trim <= 0 or len(seconds) <= trim:
+        return list(seconds)
+    return sorted(seconds)[: len(seconds) - trim]
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario],
+    *,
+    smoke: bool = False,
+    repeats: int = 3,
+    warmup: int = 1,
+    trim: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, object]:
+    """Run each scenario ``warmup + repeats`` times; build the result doc.
+
+    Timing per repeat comes from the scenario itself (it times only the
+    stream replay, not operator/stream construction).  The headline
+    number, ``records_per_second``, is the median over the kept repeats
+    -- stable enough for ``--compare`` against a previous run of the
+    same machine to stay inside the noise threshold.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ValueError(f"warmup must be >= 0, got {warmup}")
+    results: Dict[str, object] = {}
+    for scn in scenarios:
+        size = scn.size(smoke)
+        if progress is not None:
+            progress(f"{scn.name} (n={size}) ...")
+        for _ in range(warmup):
+            scn.run(size)
+        seconds: List[float] = []
+        last_run: Dict[str, object] = {}
+        for _ in range(repeats):
+            last_run = scn.run(size)
+            seconds.append(float(last_run["seconds"]))
+        kept = _aggregate_seconds(seconds, trim)
+        records = int(last_run["records"])
+        median_seconds = statistics.median(kept)
+        entry: Dict[str, object] = {
+            "size": size,
+            "records": records,
+            "seconds": [round(s, 6) for s in kept],
+            "records_per_second": round(records / median_seconds, 2)
+            if median_seconds > 0
+            else 0.0,
+            "best_records_per_second": round(records / min(kept), 2)
+            if min(kept) > 0
+            else 0.0,
+            "results_emitted": int(last_run.get("results_emitted", 0)),
+        }
+        if "counters" in last_run:
+            entry["counters"] = {
+                name: value
+                for name, value in sorted(dict(last_run["counters"]).items())
+            }
+        if "metrics" in last_run:
+            entry["metrics"] = dict(last_run["metrics"])
+        results[scn.name] = entry
+        if progress is not None:
+            progress(
+                f"  {entry['records_per_second']:>12,.0f} records/s "
+                f"(median of {len(kept)})"
+            )
+    return {
+        "kind": RESULT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": fingerprint(smoke=smoke),
+        "config": {
+            "smoke": smoke,
+            "repeats": repeats,
+            "warmup": warmup,
+            "trim": trim,
+        },
+        "scenarios": results,
+    }
+
+
+def repo_root() -> str:
+    """The repository root: three levels above this package (src layout)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(os.path.dirname(here)))
+
+
+def next_bench_path(directory: Optional[str] = None) -> str:
+    """The next free ``BENCH_<n>.json`` path in ``directory``."""
+    directory = directory if directory is not None else repo_root()
+    taken = [-1]
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        match = _BENCH_NAME.match(name)
+        if match:
+            taken.append(int(match.group(1)))
+    return os.path.join(directory, f"BENCH_{max(taken) + 1}.json")
+
+
+def write_result(result: Dict[str, object], path: Optional[str] = None) -> str:
+    """Serialize a result document to ``path`` (default: next BENCH_<n>)."""
+    path = path if path is not None else next_bench_path()
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def load_result(path: str) -> Dict[str, object]:
+    """Read a result file back, validating kind and schema version."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or document.get("kind") != RESULT_KIND:
+        raise ValueError(f"{path}: not a {RESULT_KIND} result file")
+    version = document.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: schema_version {version!r} is not supported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    return document

@@ -1,0 +1,323 @@
+"""The tracked benchmark scenario registry.
+
+Each scenario is a named, self-contained measurement: it builds its
+operator and pre-materialized stream, replays the stream through
+:func:`repro.runtime.metrics.measure_throughput` (GC parked, generation
+cost outside the clock), and returns one run's numbers.  The harness
+(:mod:`repro.bench.harness`) handles warmup, repeats, and trimming.
+
+The registry spans the axes the paper's evaluation cares about:
+technique (in-order Figure 8 / out-of-order Figure 9), ingestion mode
+(per-record vs batched), keying, holistic aggregations (Figure 14),
+recovery overhead, and the tracing-ablation pair that guards the
+"disabled tracing costs nothing" invariant.
+
+Scenario names are hierarchical (``group/subgroup``) so ``-k`` filters
+select families.  Sizes are per-scenario record counts; the smoke sizes
+keep the full registry under ~30 s for CI.
+"""
+
+from __future__ import annotations
+
+import time
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..aggregations import Median, PlainMedian, Sum
+from ..core.operator_ import GeneralSlicingOperator
+from ..core.tracing import Tracer
+from ..core.types import Record, StreamElement, Watermark
+from ..data.machine import machine_stream
+from ..data.workloads import SECOND_MS, dashboard_windows
+from ..experiments.harness import make_operator
+from ..runtime.checkpoint import CheckpointingOperator
+from ..runtime.disorder import inject_disorder, with_watermarks
+from ..runtime.keyed import KeyedWindowOperator
+from ..runtime.metrics import measure_throughput
+from ..windows.count import CountTumblingWindow
+from ..windows.session import SessionWindow
+
+__all__ = ["Scenario", "SCENARIOS", "scenario", "select"]
+
+
+class Scenario:
+    """One registered measurement: a callable plus its run configuration."""
+
+    __slots__ = ("name", "fn", "tags", "full_size", "smoke_size")
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[int], Dict[str, object]],
+        tags: Tuple[str, ...],
+        full_size: int,
+        smoke_size: int,
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self.tags = tags
+        self.full_size = full_size
+        self.smoke_size = smoke_size
+
+    def size(self, smoke: bool) -> int:
+        return self.smoke_size if smoke else self.full_size
+
+    def run(self, size: int) -> Dict[str, object]:
+        """Execute one measured repetition; returns that run's numbers."""
+        return self.fn(size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Scenario({self.name!r}, tags={self.tags})"
+
+
+#: name -> :class:`Scenario`, in registration order.
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def scenario(name: str, *, tags: Sequence[str] = (), full_size: int, smoke_size: int):
+    """Register a scenario function ``fn(size) -> run dict``."""
+
+    def decorate(fn: Callable[[int], Dict[str, object]]):
+        if name in SCENARIOS:
+            raise ValueError(f"duplicate scenario name: {name}")
+        SCENARIOS[name] = Scenario(name, fn, tuple(tags), full_size, smoke_size)
+        return fn
+
+    return decorate
+
+
+def select(patterns: Sequence[str]) -> List[Scenario]:
+    """Scenarios whose name contains any of ``patterns`` (all when empty)."""
+    if not patterns:
+        return list(SCENARIOS.values())
+    chosen = [
+        scn
+        for scn in SCENARIOS.values()
+        if any(pattern in scn.name for pattern in patterns)
+    ]
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# stream builders (cached: repeats re-measure processing, not generation)
+
+
+@lru_cache(maxsize=8)
+def _inorder_records(size: int) -> Tuple[Record, ...]:
+    # ~7 ms apart: a 1 s dashboard window spans ~143 records.
+    return tuple(Record(i * 7, float(i % 101)) for i in range(size))
+
+
+@lru_cache(maxsize=8)
+def _ooo_elements(size: int) -> Tuple[StreamElement, ...]:
+    # The paper's knobs: 20 % late, delays U[0, 2 s], trailing watermarks.
+    disordered = inject_disorder(
+        list(_inorder_records(size)), 0.2, 2 * SECOND_MS, seed=11
+    )
+    return tuple(
+        with_watermarks(disordered, interval=SECOND_MS, max_delay=2 * SECOND_MS)
+    )
+
+
+@lru_cache(maxsize=8)
+def _keyed_records(size: int) -> Tuple[Record, ...]:
+    return tuple(
+        Record(i * 7, float(i % 101), key=f"sensor-{i % 32}") for i in range(size)
+    )
+
+
+@lru_cache(maxsize=8)
+def _machine_records(size: int) -> Tuple[Record, ...]:
+    return tuple(machine_stream(size))
+
+
+def _dashboard_operator(
+    technique: str, *, in_order: bool = True, windows: int = 5
+) -> GeneralSlicingOperator:
+    operator = make_operator(
+        technique,
+        stream_in_order=in_order,
+        allowed_lateness=0 if in_order else 2 * SECOND_MS,
+    )
+    for window in dashboard_windows(windows):
+        operator.add_query(window, Sum())
+    return operator
+
+
+def _run(operator, elements, *, batch_size: Optional[int] = None) -> Dict[str, object]:
+    outcome = measure_throughput(operator, elements, batch_size=batch_size)
+    return {
+        "records": outcome.records,
+        "seconds": outcome.seconds,
+        "results_emitted": outcome.results_emitted,
+    }
+
+
+# ----------------------------------------------------------------------
+# per-technique ingest (Figures 8 and 9)
+
+_INORDER_TECHNIQUES = {
+    "lazy": "Lazy Slicing",
+    "eager": "Eager Slicing",
+    "pairs": "Pairs",
+    "cutty": "Cutty",
+    "buckets": "Buckets",
+    "tuple_buffer": "Tuple Buffer",
+}
+
+_OOO_TECHNIQUES = {
+    "lazy": "Lazy Slicing",
+    "eager": "Eager Slicing",
+    "buckets": "Buckets",
+}
+
+
+def _register_ingest() -> None:
+    for slug, technique in _INORDER_TECHNIQUES.items():
+
+        @scenario(
+            f"ingest/inorder/{slug}",
+            tags=("ingest", "inorder", slug),
+            full_size=50_000,
+            smoke_size=2_500,
+        )
+        def _run_inorder(size: int, _technique: str = technique) -> Dict[str, object]:
+            return _run(_dashboard_operator(_technique), _inorder_records(size))
+
+    for slug, technique in _OOO_TECHNIQUES.items():
+
+        @scenario(
+            f"ingest/ooo/{slug}",
+            tags=("ingest", "ooo", slug),
+            full_size=30_000,
+            smoke_size=1_500,
+        )
+        def _run_ooo(size: int, _technique: str = technique) -> Dict[str, object]:
+            operator = _dashboard_operator(_technique, in_order=False)
+            tracer = operator.enable_tracing()
+            run = _run(operator, _ooo_elements(size))
+            run["counters"] = dict(tracer.counters)
+            return run
+
+
+_register_ingest()
+
+
+# ----------------------------------------------------------------------
+# batched vs per-record ingestion (the PR 1 fast path)
+
+
+@scenario(
+    "batched/per_record",
+    tags=("batched",),
+    full_size=80_000,
+    smoke_size=4_000,
+)
+def _batched_per_record(size: int) -> Dict[str, object]:
+    return _run(_dashboard_operator("Lazy Slicing"), _inorder_records(size))
+
+
+@scenario(
+    "batched/batch_1024",
+    tags=("batched",),
+    full_size=80_000,
+    smoke_size=4_000,
+)
+def _batched_1024(size: int) -> Dict[str, object]:
+    return _run(
+        _dashboard_operator("Lazy Slicing"), _inorder_records(size), batch_size=1024
+    )
+
+
+# ----------------------------------------------------------------------
+# keyed execution
+
+
+@scenario("keyed/lazy", tags=("keyed",), full_size=30_000, smoke_size=2_000)
+def _keyed_lazy(size: int) -> Dict[str, object]:
+    operator = KeyedWindowOperator(lambda: _dashboard_operator("Lazy Slicing"))
+    return _run(operator, _keyed_records(size))
+
+
+# ----------------------------------------------------------------------
+# holistic aggregation (Figure 14): RLE-encoded runs vs plain lists
+
+
+def _holistic_operator(aggregation) -> GeneralSlicingOperator:
+    operator = GeneralSlicingOperator(stream_in_order=True)
+    for window in dashboard_windows(3):
+        operator.add_query(window, aggregation)
+    return operator
+
+
+@scenario("holistic/median_rle", tags=("holistic",), full_size=15_000, smoke_size=1_200)
+def _holistic_rle(size: int) -> Dict[str, object]:
+    return _run(_holistic_operator(Median()), _machine_records(size))
+
+
+@scenario("holistic/median_plain", tags=("holistic",), full_size=15_000, smoke_size=1_200)
+def _holistic_plain(size: int) -> Dict[str, object]:
+    return _run(_holistic_operator(PlainMedian()), _machine_records(size))
+
+
+# ----------------------------------------------------------------------
+# session windows under disorder (merge/split churn)
+
+
+@scenario("session/ooo_lazy", tags=("session", "ooo"), full_size=20_000, smoke_size=1_500)
+def _session_ooo(size: int) -> Dict[str, object]:
+    operator = GeneralSlicingOperator(
+        stream_in_order=False, allowed_lateness=2 * SECOND_MS
+    )
+    operator.add_query(SessionWindow(SECOND_MS), Sum())
+    tracer = operator.enable_tracing()
+    run = _run(operator, _ooo_elements(size))
+    run["counters"] = dict(tracer.counters)
+    return run
+
+
+# ----------------------------------------------------------------------
+# count-measure windows
+
+
+@scenario("count/tumbling_lazy", tags=("count",), full_size=40_000, smoke_size=2_500)
+def _count_tumbling(size: int) -> Dict[str, object]:
+    operator = GeneralSlicingOperator(stream_in_order=True)
+    operator.add_query(CountTumblingWindow(100), Sum())
+    return _run(operator, _inorder_records(size))
+
+
+# ----------------------------------------------------------------------
+# recovery overhead: checkpointing wrapper vs bare ingest
+
+
+@scenario("recovery/checkpointed", tags=("recovery",), full_size=20_000, smoke_size=1_500)
+def _recovery_checkpointed(size: int) -> Dict[str, object]:
+    inner = _dashboard_operator("Lazy Slicing")
+    operator = CheckpointingOperator(inner, every=max(250, size // 8))
+    tracer = operator.enable_tracing()
+    run = _run(operator, _inorder_records(size))
+    run["counters"] = dict(tracer.counters)
+    run["metrics"] = {
+        "checkpoints_taken": float(operator.snapshots_taken),
+        "checkpoint_bytes": float(tracer.value("checkpoint.bytes_written")),
+    }
+    return run
+
+
+# ----------------------------------------------------------------------
+# tracing ablation: the "disabled tracing costs nothing" guard
+
+
+@scenario("tracing/off", tags=("tracing",), full_size=50_000, smoke_size=4_000)
+def _tracing_off(size: int) -> Dict[str, object]:
+    return _run(_dashboard_operator("Lazy Slicing"), _inorder_records(size))
+
+
+@scenario("tracing/on", tags=("tracing",), full_size=50_000, smoke_size=4_000)
+def _tracing_on(size: int) -> Dict[str, object]:
+    operator = _dashboard_operator("Lazy Slicing")
+    tracer = operator.enable_tracing()
+    run = _run(operator, _inorder_records(size))
+    run["counters"] = dict(tracer.counters)
+    return run

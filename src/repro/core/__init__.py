@@ -29,6 +29,7 @@ from .operator_base import StreamOrderViolation, WindowOperator
 from .slice_ import Slice
 from .slice_manager import Modification, SliceManager
 from .stream_slicer import StreamSlicer
+from .tracing import SpanStats, Tracer
 from .types import Punctuation, Record, StreamElement, Watermark, WindowResult, is_in_order
 from .window_manager import ManagedQuery, WindowManager
 
@@ -58,6 +59,8 @@ __all__ = [
     "SliceManager",
     "Modification",
     "StreamSlicer",
+    "Tracer",
+    "SpanStats",
     "WindowManager",
     "ManagedQuery",
     "AggregateStore",

@@ -25,6 +25,7 @@ from typing import Any, Iterator, List, Optional, Sequence
 from ..aggregations.base import AggregateFunction
 from .flatfat import FlatFAT
 from .slice_ import Slice
+from .tracing import Tracer
 
 __all__ = ["AggregateStore", "LazyAggregateStore", "EagerAggregateStore"]
 
@@ -35,6 +36,19 @@ class AggregateStore:
     def __init__(self, functions: Sequence[AggregateFunction]) -> None:
         self.functions = list(functions)
         self.slices: List[Slice] = []
+        self._tracer: Optional[Tracer] = None
+
+    # ------------------------------------------------------------------
+    # observability
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """Observability sink; ``None`` (default) is the no-op fast path."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, value: Optional[Tracer]) -> None:
+        self._tracer = value
 
     # ------------------------------------------------------------------
     # structure queries
@@ -110,6 +124,8 @@ class AggregateStore:
             keep += 1
         if keep:
             del self.slices[:keep]
+            if self._tracer is not None:
+                self._tracer.count("store.slices_evicted", keep)
         return keep
 
     # ------------------------------------------------------------------
@@ -117,6 +133,9 @@ class AggregateStore:
 
     def _combine_range(self, lo: int, hi: int, fn_index: int) -> Any:
         function = self.functions[fn_index]
+        if self._tracer is not None and hi > lo:
+            self._tracer.count("store.range_queries")
+            self._tracer.count("store.slices_combined", hi - lo)
         partial = None
         for slice_ in self.slices[lo:hi]:
             agg = slice_.aggs[fn_index]
@@ -196,6 +215,12 @@ class EagerAggregateStore(AggregateStore):
         super().__init__(functions)
         self.trees: List[FlatFAT] = [FlatFAT(fn.combine) for fn in self.functions]
 
+    @AggregateStore.tracer.setter
+    def tracer(self, value: Optional[Tracer]) -> None:
+        self._tracer = value
+        for tree in self.trees:
+            tree.tracer = value
+
     def append_slice(self, slice_: Slice) -> None:
         super().append_slice(slice_)
         for fn_index, tree in enumerate(self.trees):
@@ -228,4 +253,6 @@ class EagerAggregateStore(AggregateStore):
         """Combine slices ``[lo, hi)`` via the aggregate tree: O(log s)."""
         if lo >= hi:
             return None
+        if self._tracer is not None:
+            self._tracer.count("store.range_queries")
         return self.trees[fn_index].query(lo, hi)

@@ -33,7 +33,7 @@ __all__ = ["FlatFAT"]
 class FlatFAT(Generic[P]):
     """Flat binary aggregation tree over an ordered sequence of partials."""
 
-    __slots__ = ("_combine", "_capacity", "_size", "_arr")
+    __slots__ = ("_combine", "_capacity", "_size", "_arr", "tracer")
 
     def __init__(
         self,
@@ -41,6 +41,11 @@ class FlatFAT(Generic[P]):
         leaves: Optional[Sequence[Optional[P]]] = None,
     ) -> None:
         self._combine = combine
+        #: Observability sink (``flatfat.*`` counters); ``None`` is the
+        #: no-op fast path.  Node-update counts are computed analytically
+        #: from the affected index ranges, so the enabled path adds no
+        #: per-node bookkeeping either.
+        self.tracer = None
         initial = list(leaves) if leaves else []
         self._capacity = self._pow2_at_least(max(1, len(initial)))
         self._size = len(initial)
@@ -69,9 +74,15 @@ class FlatFAT(Generic[P]):
         arr = self._arr
         for node in range(self._capacity - 1, 0, -1):
             arr[node] = self._merge(arr[2 * node], arr[2 * node + 1])
+        if self.tracer is not None:
+            self.tracer.count("flatfat.rebuilds")
+            self.tracer.count("flatfat.node_updates", self._capacity - 1)
 
     def _update_path(self, leaf_index: int) -> None:
         node = (self._capacity + leaf_index) // 2
+        if self.tracer is not None:
+            # Path length to the root == bit length of the start node.
+            self.tracer.count("flatfat.node_updates", node.bit_length())
         arr = self._arr
         while node >= 1:
             arr[node] = self._merge(arr[2 * node], arr[2 * node + 1])
@@ -140,7 +151,10 @@ class FlatFAT(Generic[P]):
         arr = self._arr
         lo = (self._capacity + start) // 2
         hi = (self._capacity + self._size - 1) // 2
+        tracer = self.tracer
         while lo >= 1:
+            if tracer is not None:
+                tracer.count("flatfat.node_updates", hi - lo + 1)
             for node in range(lo, hi + 1):
                 arr[node] = self._merge(arr[2 * node], arr[2 * node + 1])
             lo //= 2
@@ -205,6 +219,8 @@ class FlatFAT(Generic[P]):
             raise IndexError(f"query range [{lo}, {hi}) out of bounds (size {self._size})")
         if lo >= hi:
             return None
+        if self.tracer is not None:
+            self.tracer.count("flatfat.queries")
         arr = self._arr
         left_acc: Optional[P] = None
         right_acc: Optional[P] = None

@@ -290,6 +290,20 @@ class GeneralSlicingOperator(WindowOperator):
             )
         self._chains = rebuilt
         self._chain_list = tuple(rebuilt.values())
+        self._on_tracing_changed()
+
+    def _on_tracing_changed(self) -> None:
+        """Thread the tracer through every chain's pipeline components.
+
+        Rebuilding chains on query changes reattaches the tracer, so
+        counters survive ``add_query``/``remove_query`` (they live on
+        the tracer, not on the discarded components).
+        """
+        tracer = self._tracer
+        for chain in self._chain_list:
+            chain.slicer.tracer = tracer
+            chain.manager.tracer = tracer
+            chain.store.tracer = tracer
 
     @property
     def characteristics(self) -> Dict[MeasureKind, WorkloadCharacteristics]:
@@ -325,6 +339,11 @@ class GeneralSlicingOperator(WindowOperator):
 
         count_position = self._arrived
         self._arrived += 1
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.count("operator.records")
+            if not in_order:
+                tracer.count("operator.ooo_records")
 
         emitted_progress = False
         for chain in self._chain_list:
@@ -450,6 +469,10 @@ class GeneralSlicingOperator(WindowOperator):
                     store.slice_updated(len(store.slices) - 1)
             self._arrived += len(chunk)
             self._max_ts = chunk[-1].ts
+            if self._tracer is not None:
+                self._tracer.count("batch.bulk_runs")
+                self._tracer.count("batch.bulk_records", len(chunk))
+                self._tracer.count("operator.records", len(chunk))
             i = limit
 
     # ------------------------------------------------------------------

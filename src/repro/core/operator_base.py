@@ -16,6 +16,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 from ..aggregations.base import AggregateFunction
 from ..windows.base import WindowType
 from .characteristics import Query
+from .tracing import Tracer
 from .types import Punctuation, Record, StreamElement, Watermark, WindowResult
 
 __all__ = ["WindowOperator", "StreamOrderViolation"]
@@ -36,6 +37,10 @@ class WindowOperator:
         #: Runtime wiring, not operator state -- excluded from snapshots.
         self.on_late_record: Optional[Callable[[Record], None]] = None
         self._dropped_late = 0
+        #: Observability sink (:mod:`repro.core.tracing`); ``None`` means
+        #: tracing is off and no counter storage exists.  Hot paths guard
+        #: with ``if tracer is not None`` -- the disabled fast path.
+        self._tracer: Optional[Tracer] = None
 
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
@@ -66,6 +71,34 @@ class WindowOperator:
         """Hook: recompute workload characteristics / rebuild state."""
 
     # ------------------------------------------------------------------
+    # observability
+
+    @property
+    def tracer(self) -> Optional[Tracer]:
+        """The attached tracer, or ``None`` while tracing is disabled."""
+        return self._tracer
+
+    def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Attach a tracer (a fresh one by default) and return it.
+
+        Passing an existing tracer shares one counter sink across
+        several operators (keyed sub-operators, pipeline stages).
+        Tracing only observes -- window results are identical with it
+        on or off.
+        """
+        self._tracer = tracer if tracer is not None else Tracer()
+        self._on_tracing_changed()
+        return self._tracer
+
+    def disable_tracing(self) -> None:
+        """Detach the tracer; hot paths return to the no-op fast path."""
+        self._tracer = None
+        self._on_tracing_changed()
+
+    def _on_tracing_changed(self) -> None:
+        """Hook: propagate ``self._tracer`` into owned components."""
+
+    # ------------------------------------------------------------------
     # late-record side channel
 
     def _drop_late(self, record: Record) -> None:
@@ -77,6 +110,8 @@ class WindowOperator:
         side channel instead of vanishing silently.
         """
         self._dropped_late += 1
+        if self._tracer is not None:
+            self._tracer.count("operator.late_drops")
         if self.on_late_record is not None:
             self.on_late_record(record)
 

@@ -28,6 +28,7 @@ from typing import Callable, List, Optional, Sequence
 from ..aggregations.base import AggregateFunction
 from .aggregate_store import AggregateStore
 from .slice_ import Slice
+from .tracing import Tracer
 from .types import Record
 
 __all__ = ["SliceManager", "Modification"]
@@ -76,6 +77,9 @@ class SliceManager:
         self._edge_in_region = edge_in_region
         self._is_count_edge = is_count_edge
         self._on_modified = on_modified or (lambda modification: None)
+        #: Observability sink; ``None`` (the default) is the no-op fast
+        #: path -- attached by ``WindowOperator.enable_tracing()``.
+        self.tracer: Optional[Tracer] = None
 
     @property
     def functions(self) -> Sequence[AggregateFunction]:
@@ -126,6 +130,8 @@ class SliceManager:
             index = self._merge_bridged_sessions(index)
         if self.track_counts:
             self._count_cascade(index)
+        if self.tracer is not None:
+            self.tracer.count("slice_manager.ooo_records")
         modification = Modification(record.ts, count_position)
         self._on_modified(modification)
         return modification
@@ -174,6 +180,8 @@ class SliceManager:
                 gap.end_kind = Slice.END_COUNT
         index = (before + 1) if before is not None else 0
         self._store.insert_slice(index, gap)
+        if self.tracer is not None:
+            self.tracer.count("slice_manager.gap_slices")
         return index
 
     # ------------------------------------------------------------------
@@ -218,6 +226,10 @@ class SliceManager:
         self._store.insert_slice(index + 1, right)
         self._store.slice_updated(index)
         self._store.slice_updated(index + 1)
+        if self.tracer is not None:
+            # Every _insert_after follows a split (session separation,
+            # late window edge, or count boundary).
+            self.tracer.count("slice_manager.splits")
         del left  # aggregates already re-homed by split_empty_at
 
     def _merge_bridged_sessions(self, index: int) -> int:
@@ -257,6 +269,8 @@ class SliceManager:
         left.merge_from(right, self.functions)
         self._store.remove_slice(right_index)
         self._store.slice_updated(left_index)
+        if self.tracer is not None:
+            self.tracer.count("slice_manager.merges")
         return left_index
 
     # ------------------------------------------------------------------
@@ -282,6 +296,10 @@ class SliceManager:
         )
         if straddles:
             right = slice_.split_at(ts, self.functions)
+            if self.tracer is not None:
+                # The expensive Figure 15 path: both halves recompute
+                # their aggregates from stored records.
+                self.tracer.count("slice_manager.split_recomputes")
         else:
             right = slice_.split_empty_at(ts, self.functions)
         self._insert_after(index, right)
@@ -338,6 +356,8 @@ class SliceManager:
                 slices[j + 1].prepend_record(moved, self.functions)
                 self._store.slice_updated(j)
                 self._store.slice_updated(j + 1)
+                if self.tracer is not None:
+                    self.tracer.count("slice_manager.count_shifts")
             else:
                 slice_.count_end += 1
             j += 1
@@ -359,4 +379,6 @@ class SliceManager:
         left.merge_from(right, self.functions)
         self._store.remove_slice(position)
         self._store.slice_updated(position - 1)
+        if self.tracer is not None:
+            self.tracer.count("slice_manager.merges")
         return True

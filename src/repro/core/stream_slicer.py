@@ -25,6 +25,7 @@ from typing import Callable, Optional
 
 from .aggregate_store import AggregateStore
 from .slice_ import Slice
+from .tracing import Tracer
 
 __all__ = ["StreamSlicer"]
 
@@ -81,6 +82,9 @@ class StreamSlicer:
         #: recomputes the upcoming window edge (the paper's Step 1
         #: optimization turned off; see benchmarks/test_ablations.py).
         self.cache_edges = True
+        #: Observability sink; ``None`` (the default) is the no-op fast
+        #: path -- attached by ``WindowOperator.enable_tracing()``.
+        self.tracer: Optional[Tracer] = None
 
     # ------------------------------------------------------------------
 
@@ -108,6 +112,8 @@ class StreamSlicer:
             count_start=count_start if self._track_counts else None,
         )
         self._store.append_slice(head)
+        if self.tracer is not None:
+            self.tracer.count("slicer.slices_created")
         return head
 
     def _close_head(self, end_ts: int, count_end: Optional[int], kind: str = Slice.END_TIME) -> None:
@@ -179,6 +185,8 @@ class StreamSlicer:
 
         head = self._store.head
         assert head is not None and head.end is None
+        if self.cut_performed and self.tracer is not None:
+            self.tracer.count("slicer.cuts")
         return head
 
     def after_record(self, ts: int) -> None:
@@ -188,6 +196,8 @@ class StreamSlicer:
 
     def _refresh_time_cache(self, base: int) -> None:
         self._cached_time_edge = self._next_time_edge(base)
+        if self.tracer is not None:
+            self.tracer.count("slicer.edge_lookups")
 
     def _refresh_count_cache(self, count_position: int) -> None:
         if self._next_count_edge is None:

@@ -36,11 +36,19 @@ from .metrics import (
     LatencyHarness,
     LatencyStats,
     RecoveryStats,
+    SpanStats,
     ThroughputResult,
+    Tracer,
     measure_throughput,
 )
 from .keyed import KeyedWindowOperator
-from .partition import ParallelResult, PartitionedExecutor, hash_partition, run_parallel
+from .partition import (
+    ParallelResult,
+    PartitionedExecutor,
+    hash_partition,
+    run_parallel,
+    stable_hash,
+)
 from .pipeline import CollectSink, CountingSink, FilterOperator, MapOperator, Pipeline
 from .recovery import (
     Checkpoint,
@@ -67,11 +75,14 @@ __all__ = [
     "memory_model",
     "TABLE1_ROWS",
     "measure_throughput",
+    "Tracer",
+    "SpanStats",
     "ThroughputResult",
     "LatencyHarness",
     "LatencyStats",
     "RecoveryStats",
     "hash_partition",
+    "stable_hash",
     "PartitionedExecutor",
     "run_parallel",
     "ParallelResult",

@@ -22,6 +22,7 @@ import pickle
 from typing import Any, Callable, Optional, Sequence
 
 from ..core.operator_base import WindowOperator
+from ..core.tracing import Tracer
 from ..core.types import Record, StreamElement
 
 __all__ = [
@@ -77,31 +78,37 @@ def _unpicklable_message(operator: WindowOperator, cause: Exception) -> str:
     return f"cannot snapshot operator: {cause}"
 
 
-def snapshot(operator: WindowOperator) -> bytes:
+def snapshot(operator: WindowOperator, *, tracer: Optional[Tracer] = None) -> bytes:
     """Serialize the operator's full state (queries, slices, bookkeeping).
 
     The result starts with a versioned header understood by
     :func:`restore`.  Raises :class:`SnapshotError` naming the offending
-    aggregation when the state holds an unpicklable UDF.
+    aggregation when the state holds an unpicklable UDF.  ``tracer``
+    (optional) records ``checkpoint.snapshots`` / ``checkpoint.bytes_written``.
     """
     try:
         payload = pickle.dumps(operator, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
         raise SnapshotError(_unpicklable_message(operator, exc)) from exc
-    return (
+    blob = (
         CHECKPOINT_MAGIC
         + CHECKPOINT_FORMAT_VERSION.to_bytes(2, "big")
         + payload
     )
+    if tracer is not None:
+        tracer.count("checkpoint.snapshots")
+        tracer.count("checkpoint.bytes_written", len(blob))
+    return blob
 
 
-def restore(blob: bytes) -> WindowOperator:
+def restore(blob: bytes, *, tracer: Optional[Tracer] = None) -> WindowOperator:
     """Rebuild an operator from a snapshot; processing can resume as if
     uninterrupted.
 
     Rejects blobs without the checkpoint header, blobs written with an
     unsupported format version, and corrupt payloads with a
     :class:`CheckpointFormatError` instead of an arbitrary unpickle.
+    ``tracer`` records ``checkpoint.restores`` / ``checkpoint.bytes_restored``.
     """
     if not isinstance(blob, (bytes, bytearray, memoryview)):
         raise CheckpointFormatError(
@@ -125,6 +132,9 @@ def restore(blob: bytes) -> WindowOperator:
         raise CheckpointFormatError(f"corrupt checkpoint payload: {exc}") from exc
     if not isinstance(operator, WindowOperator):
         raise TypeError(f"snapshot does not contain a WindowOperator: {type(operator)!r}")
+    if tracer is not None:
+        tracer.count("checkpoint.restores")
+        tracer.count("checkpoint.bytes_restored", len(blob))
     return operator
 
 
@@ -215,9 +225,16 @@ class CheckpointingOperator(WindowOperator):
             self.checkpoint()
         return results
 
+    def _on_tracing_changed(self) -> None:
+        # The wrapper and the wrapped operator share one counter sink.
+        if self._tracer is None:
+            self.inner.disable_tracing()
+        else:
+            self.inner.enable_tracing(self._tracer)
+
     def checkpoint(self) -> bytes:
         """Take a snapshot now; returns the serialized state."""
-        self.last_snapshot = snapshot(self.inner)
+        self.last_snapshot = snapshot(self.inner, tracer=self._tracer)
         self.records_since_snapshot = 0
         self.snapshots_taken += 1
         if self.on_checkpoint is not None:

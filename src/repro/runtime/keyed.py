@@ -36,8 +36,18 @@ class KeyedWindowOperator(WindowOperator):
         operator = self._by_key.get(key)
         if operator is None:
             operator = self._factory()
+            if self._tracer is not None:
+                operator.enable_tracing(self._tracer)
             self._by_key[key] = operator
         return operator
+
+    def _on_tracing_changed(self) -> None:
+        # All per-key operators share the wrapper's counter sink.
+        for operator in self._by_key.values():
+            if self._tracer is None:
+                operator.disable_tracing()
+            else:
+                operator.enable_tracing(self._tracer)
 
     @property
     def keys(self) -> List[Any]:

@@ -18,6 +18,7 @@ import time
 from typing import Any, Callable, Dict, List, Sequence
 
 from ..core.operator_base import WindowOperator
+from ..core.tracing import SpanStats, Tracer
 from ..core.types import StreamElement
 
 __all__ = [
@@ -26,6 +27,10 @@ __all__ = [
     "LatencyHarness",
     "LatencyStats",
     "RecoveryStats",
+    # Observability (re-exported; defined in repro.core.tracing so the
+    # core package stays free of runtime imports).
+    "Tracer",
+    "SpanStats",
 ]
 
 

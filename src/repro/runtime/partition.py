@@ -18,20 +18,71 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
-from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+import zlib
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
 from ..core.operator_base import WindowOperator
 from ..core.types import Record, StreamElement, WindowResult
 
-__all__ = ["hash_partition", "PartitionedExecutor", "run_parallel", "ParallelResult"]
+__all__ = [
+    "stable_hash",
+    "hash_partition",
+    "PartitionedExecutor",
+    "run_parallel",
+    "ParallelResult",
+]
+
+
+def _canonical_bytes(key: Any) -> bytes:
+    """A process-independent byte encoding of a partition key.
+
+    Each supported type gets a distinct tag so values that compare
+    unequal never collide by encoding (``1`` vs ``"1"`` vs ``b"1"``).
+    Containers encode recursively with length prefixes.  Unknown types
+    fall back to ``repr`` qualified by the type name -- stable for any
+    type whose repr is (namedtuples, enums, dataclasses of the above).
+    """
+    if key is None:
+        return b"n:"
+    if isinstance(key, bool):  # before int: True == 1 but tags differ
+        return b"B:1" if key else b"B:0"
+    if isinstance(key, int):
+        return b"i:%d" % key
+    if isinstance(key, str):
+        return b"s:" + key.encode("utf-8")
+    if isinstance(key, bytes):
+        return b"b:" + key
+    if isinstance(key, float):
+        return b"f:" + repr(key).encode("ascii")
+    if isinstance(key, (tuple, list, frozenset)):
+        tag = {tuple: b"t", list: b"l", frozenset: b"F"}[type(key)]
+        parts = [_canonical_bytes(item) for item in key]
+        if isinstance(key, frozenset):
+            parts.sort()
+        return tag + b":%d:" % len(parts) + b"\x00".join(parts)
+    return b"r:" + type(key).__qualname__.encode("utf-8") + b":" + repr(key).encode("utf-8")
+
+
+def stable_hash(key: Any) -> int:
+    """A partition hash that is identical across processes and restarts.
+
+    The builtin ``hash()`` is salted per process for ``str``/``bytes``
+    (``PYTHONHASHSEED``), so partition assignment would differ between a
+    run and its restore -- a restored keyed pipeline would route records
+    to the wrong partition's state.  CRC-32 over a canonical encoding is
+    unsalted, cheap, and well-mixed for modulo partitioning.
+    """
+    return zlib.crc32(_canonical_bytes(key))
 
 
 def hash_partition(elements: Iterable[StreamElement], parallelism: int) -> List[List[StreamElement]]:
     """Split a stream into per-partition streams by record key.
 
-    Records route by ``hash(key) % parallelism`` (round-robin for
+    Records route by ``stable_hash(key) % parallelism`` (round-robin for
     keyless records); watermarks and punctuations are broadcast to all
-    partitions, as in Flink.
+    partitions, as in Flink.  The assignment is reproducible across
+    processes and ``PYTHONHASHSEED`` values, so a restored checkpoint
+    sees the same routing as the run that wrote it.
     """
     if parallelism <= 0:
         raise ValueError(f"parallelism must be positive, got {parallelism}")
@@ -43,7 +94,7 @@ def hash_partition(elements: Iterable[StreamElement], parallelism: int) -> List[
                 index = round_robin % parallelism
                 round_robin += 1
             else:
-                index = hash(element.key) % parallelism
+                index = stable_hash(element.key) % parallelism
             partitions[index].append(element)
         else:
             for partition in partitions:

@@ -1,0 +1,220 @@
+"""The tracked benchmark subsystem: schema, comparison, CLI contracts.
+
+These tests exercise the harness with tiny synthetic scenarios (no real
+measurement, so they are fast and deterministic) plus one end-to-end
+smoke run of the real registry that enforces the CI time budget.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_THRESHOLD,
+    FINGERPRINT_FIELDS,
+    RESULT_KIND,
+    SCENARIOS,
+    SCHEMA_VERSION,
+    compare_results,
+    fingerprint,
+    format_report,
+    load_result,
+    next_bench_path,
+    run_scenarios,
+    select,
+    write_result,
+)
+from repro.bench.__main__ import main as bench_main
+from repro.bench.scenarios import Scenario
+
+
+def _fake_scenario(name, seconds=0.01, records=100, **extra):
+    def fn(size):
+        run = {"records": records, "seconds": seconds, "results_emitted": 7}
+        run.update(extra)
+        return run
+
+    return Scenario(name, fn, ("fake",), full_size=records, smoke_size=records)
+
+
+class TestRegistry:
+    def test_registry_covers_the_required_axes(self):
+        names = set(SCENARIOS)
+        for prefix in ("ingest/inorder/", "ingest/ooo/", "batched/", "keyed/",
+                       "holistic/", "recovery/", "tracing/"):
+            assert any(name.startswith(prefix) for name in names), prefix
+
+    def test_smoke_sizes_are_smaller(self):
+        for scn in SCENARIOS.values():
+            assert scn.smoke_size < scn.full_size
+
+    def test_select_filters_by_substring(self):
+        assert all("tracing" in s.name for s in select(["tracing"]))
+        assert len(select([])) == len(SCENARIOS)
+        assert select(["no-such-scenario"]) == []
+
+
+class TestHarness:
+    def test_result_document_schema(self, tmp_path):
+        result = run_scenarios([_fake_scenario("fake/a")], repeats=3, warmup=0, trim=1)
+        assert result["kind"] == RESULT_KIND
+        assert result["schema_version"] == SCHEMA_VERSION
+        assert set(FINGERPRINT_FIELDS) <= set(result["fingerprint"])
+        entry = result["scenarios"]["fake/a"]
+        assert entry["records"] == 100
+        assert len(entry["seconds"]) == 2  # 3 repeats, slowest trimmed
+        assert entry["records_per_second"] == pytest.approx(100 / 0.01)
+        assert entry["results_emitted"] == 7
+
+    def test_counters_and_metrics_pass_through(self):
+        scn = _fake_scenario("fake/c", counters={"z": 1, "a": 2}, metrics={"m": 3.0})
+        entry = run_scenarios([scn], repeats=1, warmup=0, trim=0)["scenarios"]["fake/c"]
+        assert list(entry["counters"]) == ["a", "z"]  # sorted for diffability
+        assert entry["metrics"] == {"m": 3.0}
+
+    def test_round_trip_and_numbering(self, tmp_path):
+        result = run_scenarios([_fake_scenario("fake/a")], repeats=1, warmup=0, trim=0)
+        first = next_bench_path(str(tmp_path))
+        assert os.path.basename(first) == "BENCH_0.json"
+        write_result(result, first)
+        assert os.path.basename(next_bench_path(str(tmp_path))) == "BENCH_1.json"
+        assert load_result(first)["scenarios"] == result["scenarios"]
+
+    def test_load_rejects_foreign_and_future_files(self, tmp_path):
+        alien = tmp_path / "alien.json"
+        alien.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro-bench"):
+            load_result(str(alien))
+        future = tmp_path / "future.json"
+        future.write_text(
+            json.dumps({"kind": RESULT_KIND, "schema_version": SCHEMA_VERSION + 1})
+        )
+        with pytest.raises(ValueError, match="schema_version"):
+            load_result(str(future))
+
+    def test_fingerprint_fields_present(self):
+        print_ = fingerprint(smoke=True)
+        assert set(FINGERPRINT_FIELDS) == set(print_)
+        assert print_["smoke"] is True
+        assert print_["python"]
+
+    def test_run_scenarios_validates_arguments(self):
+        with pytest.raises(ValueError, match="repeats"):
+            run_scenarios([], repeats=0)
+        with pytest.raises(ValueError, match="warmup"):
+            run_scenarios([], warmup=-1)
+
+
+def _doc(rates):
+    return {
+        "kind": RESULT_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "fingerprint": fingerprint(),
+        "config": {"smoke": True},
+        "scenarios": {
+            name: {"records_per_second": rate, "best_records_per_second": rate}
+            for name, rate in rates.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_detects_injected_regression(self):
+        rows = compare_results(_doc({"a": 1000.0}), _doc({"a": 700.0}))
+        assert [row.status for row in rows] == ["regression"]
+        assert rows[0].delta == pytest.approx(-0.3)
+
+    def test_noise_jitter_passes(self):
+        rows = compare_results(
+            _doc({"a": 1000.0, "b": 500.0}),
+            _doc({"a": 1000.0 * (1 - DEFAULT_THRESHOLD + 0.01), "b": 540.0}),
+        )
+        assert all(row.status == "ok" for row in rows)
+
+    def test_improvement_never_fails(self):
+        rows = compare_results(_doc({"a": 1000.0}), _doc({"a": 5000.0}))
+        assert rows[0].status == "improved"
+
+    def test_new_and_missing_are_informational(self):
+        rows = compare_results(_doc({"a": 1.0, "gone": 1.0}), _doc({"a": 1.0, "fresh": 1.0}))
+        statuses = {row.name: row.status for row in rows}
+        assert statuses == {"a": "ok", "gone": "missing", "fresh": "new"}
+
+    def test_report_mentions_verdict(self):
+        rows = compare_results(_doc({"a": 1000.0}), _doc({"a": 100.0}))
+        report = format_report(rows, threshold=DEFAULT_THRESHOLD)
+        assert "FAIL" in report and "a" in report
+        ok_rows = compare_results(_doc({"a": 1000.0}), _doc({"a": 1000.0}))
+        assert "OK: no regressions" in format_report(ok_rows, threshold=DEFAULT_THRESHOLD)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_results(_doc({}), _doc({}), threshold=0)
+
+
+class TestCLI:
+    def test_list_exits_zero(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "tracing/off" in out
+
+    def test_unknown_filter_exits_two(self, capsys):
+        assert bench_main(["-k", "no-such-scenario"]) == 2
+
+    def test_smoke_subset_emits_valid_json_under_budget(self, tmp_path, capsys):
+        """The acceptance contract: --smoke produces a valid result file
+        well inside the 30 s CI budget (full registry measured here via
+        a representative subset to keep the unit suite quick)."""
+        out = tmp_path / "BENCH_0.json"
+        started = time.perf_counter()
+        code = bench_main(
+            ["--smoke", "-k", "tracing", "-k", "recovery", "--out", str(out)]
+        )
+        elapsed = time.perf_counter() - started
+        assert code == 0
+        assert elapsed < 30
+        document = load_result(str(out))
+        assert document["config"]["smoke"] is True
+        assert "tracing/on" in document["scenarios"]
+        assert document["scenarios"]["recovery/checkpointed"]["metrics"][
+            "checkpoints_taken"
+        ] >= 1
+
+    def test_compare_against_self_is_clean(self, tmp_path, capsys):
+        """A run compared against itself must never report regressions."""
+        out = tmp_path / "BENCH_0.json"
+        assert bench_main(["--smoke", "-k", "batched/", "--out", str(out)]) == 0
+        document = load_result(str(out))
+        rows = compare_results(document, document)
+        assert all(row.status == "ok" for row in rows)
+
+    def test_compare_exit_codes(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_0.json"
+        assert bench_main(["--smoke", "-k", "tracing/off", "--out", str(out)]) == 0
+        document = load_result(str(out))
+
+        # Inflate the baseline: the fresh measurement now "regresses".
+        inflated = json.loads(json.dumps(document))
+        for entry in inflated["scenarios"].values():
+            entry["records_per_second"] *= 100
+            entry["best_records_per_second"] *= 100
+        bad = tmp_path / "inflated.json"
+        bad.write_text(json.dumps(inflated))
+        out2 = tmp_path / "BENCH_1.json"
+        assert (
+            bench_main(
+                ["--smoke", "-k", "tracing/off", "--out", str(out2), "--compare", str(bad)]
+            )
+            == 1
+        )
+
+        # Compared against the honest previous run: clean exit.
+        out3 = tmp_path / "BENCH_2.json"
+        assert (
+            bench_main(
+                ["--smoke", "-k", "tracing/off", "--out", str(out3), "--compare", str(out)]
+            )
+            == 0
+        )

@@ -1,0 +1,295 @@
+"""Runtime tracing: counter correctness and the zero-cost-off contract.
+
+Two properties matter:
+
+1. When enabled, counters must mean what docs/observability.md says they
+   mean -- checked here against hand-derived expectations on streams
+   small enough to reason through.
+2. When disabled (the default), tracing must be *absent*, not merely
+   quiet: no tracer object, no counter storage on any component, and
+   bit-identical window results to a traced run.
+"""
+
+import pickle
+
+import pytest
+
+from conftest import final_values
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Sum
+from repro.core.tracing import SpanStats, Tracer
+from repro.runtime.checkpoint import CheckpointingOperator, restore, snapshot
+from repro.runtime.keyed import KeyedWindowOperator
+from repro.windows import SessionWindow, TumblingWindow
+
+
+def _tumbling_stream():
+    """25 records, one per ms at ts 0..24, value 1.0 each."""
+    return [Record(ts, 1.0) for ts in range(25)]
+
+
+class TestTracerAPI:
+    def test_count_and_value(self):
+        tracer = Tracer()
+        tracer.count("a.x")
+        tracer.count("a.x", 4)
+        tracer.count("b.y", 2)
+        assert tracer.value("a.x") == 5
+        assert tracer.value("b.y") == 2
+        assert tracer.value("missing") == 0
+
+    def test_span_records_calls_and_time(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        with tracer.span("phase"):
+            pass
+        stats = tracer.spans["phase"]
+        assert isinstance(stats, SpanStats)
+        assert stats.calls == 2
+        assert stats.total_ns >= 0
+
+    def test_snapshot_sorted_and_reset(self):
+        tracer = Tracer()
+        tracer.count("z.last")
+        tracer.count("a.first")
+        snap = tracer.snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        tracer.reset()
+        assert tracer.counters == {}
+        assert tracer.spans == {}
+
+    def test_merge_from_sums_counters(self):
+        left, right = Tracer(), Tracer()
+        left.count("n", 2)
+        right.count("n", 3)
+        right.count("only.right")
+        left.merge_from([right])
+        assert left.value("n") == 5
+        assert left.value("only.right") == 1
+
+    def test_matching_prefix(self):
+        tracer = Tracer()
+        tracer.count("slicer.cuts")
+        tracer.count("slicer.slices_created", 2)
+        tracer.count("store.range_queries")
+        assert tracer.matching("slicer.") == {
+            "slicer.cuts": 1,
+            "slicer.slices_created": 2,
+        }
+
+    def test_format_mentions_counters(self):
+        tracer = Tracer()
+        tracer.count("operator.records", 7)
+        text = tracer.format()
+        assert "operator.records" in text
+        assert "7" in text
+
+    def test_tracer_pickles(self):
+        tracer = Tracer()
+        tracer.count("x", 3)
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert clone.value("x") == 3
+
+
+class TestHandComputedCounters:
+    def test_lazy_tumbling_counters(self):
+        """TumblingWindow(10) over ts 0..24, flushed by Watermark(100).
+
+        Hand derivation: records fall into three slices [0,10), [10,20),
+        [20,30), so 3 slice heads open (one cut + one cached-edge lookup
+        each).  The watermark triggers all three windows; each tumbling
+        window is exactly one slice, so 3 range queries combining 1
+        slice each.  The two slices entirely below the final watermark
+        are evicted; the open head [20,30) is retained.
+        """
+        operator = GeneralSlicingOperator(stream_in_order=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        final = final_values(operator, _tumbling_stream() + [Watermark(100)])
+        assert final == {(0, 0, 10): 10.0, (0, 10, 20): 10.0, (0, 20, 30): 5.0}
+        assert tracer.value("operator.records") == 25
+        assert tracer.value("operator.ooo_records") == 0
+        assert tracer.value("slicer.slices_created") == 3
+        assert tracer.value("slicer.cuts") == 3
+        assert tracer.value("slicer.edge_lookups") == 3
+        assert tracer.value("store.range_queries") == 3
+        assert tracer.value("store.slices_combined") == 3
+        assert tracer.value("store.slices_evicted") == 2
+
+    def test_eager_adds_flatfat_counters(self):
+        """Same stream, eager store: the FlatFAT tree traces its work.
+
+        The tree doubles capacity as slices 1..3 arrive (3 rebuilds) and
+        answers one query per emitted window.  Node updates cover both
+        rebuild sweeps and per-record leaf-to-root paths; the exact
+        total (30 here) is pinned so accidental extra tree work shows up.
+        """
+        operator = GeneralSlicingOperator(stream_in_order=True, eager=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        final = final_values(operator, _tumbling_stream() + [Watermark(100)])
+        assert final == {(0, 0, 10): 10.0, (0, 10, 20): 10.0, (0, 20, 30): 5.0}
+        assert tracer.value("flatfat.rebuilds") == 3
+        assert tracer.value("flatfat.queries") == 3
+        assert tracer.value("flatfat.node_updates") == 30
+
+    def test_out_of_order_record_counters(self):
+        """ts=5 arrives after ts=20: one out-of-order insert, no split
+        (the record lands inside the existing slice [0,10))."""
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=1000)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        for record in [Record(0, 1.0), Record(20, 1.0), Record(5, 1.0)]:
+            operator.process(record)
+        assert tracer.value("operator.records") == 3
+        assert tracer.value("operator.ooo_records") == 1
+        assert tracer.value("slice_manager.ooo_records") == 1
+        assert tracer.value("slice_manager.splits") == 0
+
+    def test_session_late_record_splits_slice(self):
+        """A late record falling between two sessions splits the slicer's
+        coarse slice to host it (1 split), and both late arrivals count."""
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=1000)
+        operator.add_query(SessionWindow(5), Sum())
+        tracer = operator.enable_tracing()
+        for record in [Record(0, 1.0), Record(20, 1.0), Record(11, 1.0), Record(16, 1.0)]:
+            operator.process(record)
+        assert tracer.value("slice_manager.ooo_records") == 2
+        assert tracer.value("slice_manager.splits") == 1
+
+    def test_late_drop_counter(self):
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=0)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        operator.process(Record(50, 1.0))
+        operator.process(Watermark(60))
+        operator.process(Record(10, 1.0))  # behind the watermark: dropped
+        assert tracer.value("operator.late_drops") == 1
+
+    def test_batched_ingest_counters(self):
+        """process_batch routes in-order chunks through the bulk path.
+
+        The three records that open a new slice (ts 0, 10, 20) take the
+        per-record path; the other 22 flow through bulk appends.  Every
+        record counts toward ``operator.records`` regardless of path.
+        """
+        operator = GeneralSlicingOperator(stream_in_order=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        operator.process_batch(_tumbling_stream())
+        assert tracer.value("operator.records") == 25
+        assert tracer.value("batch.bulk_records") == 22
+        assert tracer.value("batch.bulk_runs") == 3
+
+    def test_checkpoint_byte_counters(self):
+        operator = GeneralSlicingOperator(stream_in_order=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = Tracer()
+        blob = snapshot(operator, tracer=tracer)
+        assert tracer.value("checkpoint.snapshots") == 1
+        assert tracer.value("checkpoint.bytes_written") == len(blob)
+        restore(blob, tracer=tracer)
+        assert tracer.value("checkpoint.restores") == 1
+        assert tracer.value("checkpoint.bytes_restored") == len(blob)
+
+    def test_checkpointing_operator_traces_through_wrapper(self):
+        inner = GeneralSlicingOperator(stream_in_order=True)
+        operator = CheckpointingOperator(inner, every=10)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        for element in _tumbling_stream():
+            operator.process(element)
+        assert operator.snapshots_taken >= 2
+        assert tracer.value("checkpoint.snapshots") == operator.snapshots_taken
+        assert tracer.value("checkpoint.bytes_written") > 0
+        assert tracer.value("operator.records") == 25  # inner operator shares it
+
+
+class TestDisabledTracing:
+    def test_off_by_default_and_nowhere_on_components(self):
+        operator = GeneralSlicingOperator(stream_in_order=True, eager=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        assert operator.tracer is None
+        for chain in operator._chains.values():
+            assert chain.slicer.tracer is None
+            assert chain.manager.tracer is None
+            assert chain.store.tracer is None
+
+    def test_results_identical_with_and_without_tracing(self):
+        stream = _tumbling_stream() + [Watermark(100)]
+
+        def build():
+            operator = GeneralSlicingOperator(stream_in_order=True)
+            operator.add_query(TumblingWindow(10), Sum())
+            return operator
+
+        plain = build()
+        traced = build()
+        traced.enable_tracing()
+        assert final_values(plain, stream) == final_values(traced, stream)
+
+    def test_disable_detaches_everywhere_but_keeps_counts(self):
+        operator = GeneralSlicingOperator(stream_in_order=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        operator.process(Record(0, 1.0))
+        operator.disable_tracing()
+        assert operator.tracer is None
+        for chain in operator._chains.values():
+            assert chain.slicer.tracer is None
+            assert chain.manager.tracer is None
+            assert chain.store.tracer is None
+        # The detached tracer keeps what it saw; nothing new accrues.
+        seen = tracer.value("operator.records")
+        operator.process(Record(1, 1.0))
+        assert tracer.value("operator.records") == seen == 1
+
+    def test_tracer_survives_query_set_changes(self):
+        """add_query rebuilds the chains; the tracer must re-attach."""
+        operator = GeneralSlicingOperator(stream_in_order=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        operator.process(Record(0, 1.0))
+        operator.add_query(TumblingWindow(20), Sum())
+        operator.process(Record(1, 1.0))
+        assert operator.tracer is tracer
+        assert tracer.value("operator.records") == 2
+        for chain in operator._chains.values():
+            assert chain.slicer.tracer is tracer
+
+    def test_external_tracer_can_be_shared(self):
+        shared = Tracer()
+        a = GeneralSlicingOperator(stream_in_order=True)
+        a.add_query(TumblingWindow(10), Sum())
+        b = GeneralSlicingOperator(stream_in_order=True)
+        b.add_query(TumblingWindow(10), Sum())
+        assert a.enable_tracing(shared) is shared
+        b.enable_tracing(shared)
+        a.process(Record(0, 1.0))
+        b.process(Record(0, 1.0))
+        assert shared.value("operator.records") == 2
+
+
+class TestKeyedTracing:
+    def test_keyed_operators_share_the_wrapper_tracer(self):
+        operator = KeyedWindowOperator(_keyed_factory)
+        tracer = operator.enable_tracing()
+        for ts, key in [(0, "a"), (1, "b"), (2, "a"), (3, "c")]:
+            operator.process(Record(ts, 1.0, key=key))
+        assert tracer.value("operator.records") == 4
+        for key in operator.keys:
+            assert operator.operator_for(key).tracer is tracer
+
+    def test_keyed_disable_propagates(self):
+        operator = KeyedWindowOperator(_keyed_factory)
+        operator.enable_tracing()
+        operator.process(Record(0, 1.0, key="a"))
+        operator.disable_tracing()
+        assert operator.operator_for("a").tracer is None
+
+
+def _keyed_factory():
+    inner = GeneralSlicingOperator(stream_in_order=True)
+    inner.add_query(TumblingWindow(10), Sum())
+    return inner
