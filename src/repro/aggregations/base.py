@@ -71,6 +71,14 @@ class AggregateFunction(Generic[V, P, R]):
     commutative: bool = True
     #: Whether :meth:`invert` is implemented.
     invertible: bool = False
+    #: Whether :meth:`invert` reverses :meth:`combine` exactly on the
+    #: partial domain.  True for partials that stay integral under
+    #: integer inputs (sums, counts); False when the partial lives in a
+    #: transformed float domain (log-sums, running products), where
+    #: ``(x ⊕ y) ⊖ y != x`` bit-for-bit.  Subtract-based kernels are
+    #: only selected when this holds, keeping slicing bit-identical to
+    #: recomputation.  Meaningless unless :attr:`invertible`.
+    exact_invert: bool = True
     #: Distributive / algebraic / holistic.
     kind: AggregationClass = AggregationClass.ALGEBRAIC
 

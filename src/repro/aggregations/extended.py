@@ -135,6 +135,9 @@ class GeometricMean(AggregateFunction[float, Tuple[float, int], float]):
     name = "geomean"
     commutative = True
     invertible = True
+    #: Log-sum partials are non-integral floats even for integer inputs,
+    #: so subtracting a log back out drifts from recomputation.
+    exact_invert = False
     kind = AggregationClass.ALGEBRAIC
 
     def lift(self, value: float) -> Tuple[float, int]:

@@ -95,6 +95,9 @@ class Product(AggregateFunction[float, Tuple[float, int], float]):
     name = "product"
     commutative = True
     invertible = True
+    #: Division does not exactly reverse multiplication in floats, so
+    #: subtract-based eviction drifts from recomputation.
+    exact_invert = False
     kind = AggregationClass.ALGEBRAIC
 
     def lift(self, value: float) -> Tuple[float, int]:

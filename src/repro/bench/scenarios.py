@@ -36,6 +36,7 @@ from ..runtime.keyed import KeyedWindowOperator
 from ..runtime.metrics import measure_throughput
 from ..windows.count import CountTumblingWindow
 from ..windows.session import SessionWindow
+from ..windows.sliding import SlidingWindow
 
 __all__ = ["Scenario", "SCENARIOS", "scenario", "select"]
 
@@ -227,6 +228,81 @@ def _batched_1024(size: int) -> Dict[str, object]:
     return _run(
         _dashboard_operator("Lazy Slicing"), _inorder_records(size), batch_size=1024
     )
+
+
+# ----------------------------------------------------------------------
+# aggregation-kernel ablation: in-order sliding sum with a fine slide,
+# so the eager store carries ~100 live slices and the per-record update
+# plus per-trigger range query dominate -- exactly where the kernels
+# differ (FlatFAT O(log s) vs two-stacks/subtract-on-evict O(1))
+
+
+def _kernel_operator(kernel: Optional[str]) -> GeneralSlicingOperator:
+    operator = GeneralSlicingOperator(
+        stream_in_order=True, eager=True, kernel=kernel
+    )
+    operator.add_query(SlidingWindow(10 * SECOND_MS, SECOND_MS // 10), Sum())
+    return operator
+
+
+def _register_kernels() -> None:
+    # None = auto-selection (subtract-on-evict for an invertible Sum on
+    # an in-order stream); the forced variants isolate each kernel.
+    for slug, kernel in (
+        ("auto", None),
+        ("flatfat", "flatfat"),
+        ("two_stacks", "two_stacks"),
+        ("subtract_on_evict", "subtract_on_evict"),
+    ):
+
+        @scenario(
+            f"kernel/{slug}",
+            tags=("kernel", "eager", slug),
+            full_size=50_000,
+            smoke_size=2_500,
+        )
+        def _run_kernel(size: int, _kernel: Optional[str] = kernel) -> Dict[str, object]:
+            return _run(_kernel_operator(_kernel), _inorder_records(size))
+
+
+_register_kernels()
+
+
+# ----------------------------------------------------------------------
+# shared-window reuse: concurrently-triggering sliding windows where
+# combining slice partials is expensive (holistic median), so the
+# SharedQueryPlan's common-prefix reuse removes most of the combine work
+
+
+def _share_operator(share: bool) -> GeneralSlicingOperator:
+    operator = GeneralSlicingOperator(
+        stream_in_order=True, share_windows=share
+    )
+    # One slide grid, five extents: every trigger closes all five
+    # windows on the same end slice with nested ranges.
+    for seconds in (2, 4, 6, 8, 10):
+        operator.add_query(
+            SlidingWindow(seconds * SECOND_MS, SECOND_MS // 2), Median()
+        )
+    return operator
+
+
+@scenario("share/on", tags=("share",), full_size=20_000, smoke_size=1_500)
+def _share_on(size: int) -> Dict[str, object]:
+    operator = _share_operator(True)
+    tracer = operator.enable_tracing()
+    run = _run(operator, _inorder_records(size))
+    run["counters"] = dict(tracer.counters)
+    return run
+
+
+@scenario("share/off", tags=("share",), full_size=20_000, smoke_size=1_500)
+def _share_off(size: int) -> Dict[str, object]:
+    operator = _share_operator(False)
+    tracer = operator.enable_tracing()
+    run = _run(operator, _inorder_records(size))
+    run["counters"] = dict(tracer.counters)
+    return run
 
 
 # ----------------------------------------------------------------------

@@ -6,7 +6,12 @@ manager, window manager, and the shared aggregate store, plus the
 workload characterization of Section 4.
 """
 
-from .aggregate_store import AggregateStore, EagerAggregateStore, LazyAggregateStore
+from .aggregate_store import (
+    AggregateStore,
+    EagerAggregateStore,
+    LazyAggregateStore,
+    SharedQueryPlan,
+)
 from .characteristics import (
     Query,
     RemovalStrategy,
@@ -14,8 +19,10 @@ from .characteristics import (
     removal_strategy,
     requires_splits,
     requires_tuple_storage,
+    select_kernel,
 )
 from .flatfat import FlatFAT
+from .kernels import KernelKind, SubtractOnEvictKernel, TwoStacksKernel, make_kernel
 from .measures import (
     AttributeMeasure,
     CountMeasure,
@@ -66,5 +73,11 @@ __all__ = [
     "AggregateStore",
     "LazyAggregateStore",
     "EagerAggregateStore",
+    "SharedQueryPlan",
     "FlatFAT",
+    "KernelKind",
+    "TwoStacksKernel",
+    "SubtractOnEvictKernel",
+    "make_kernel",
+    "select_kernel",
 ]

@@ -9,9 +9,18 @@ Two variants correspond to the paper's lazy and eager slicing:
 * :class:`LazyAggregateStore` keeps only the ordered slice list; window
   aggregates are combined on demand from the covered slices -- highest
   throughput, latency linear in the slice count (Figure 11).
-* :class:`EagerAggregateStore` additionally maintains a
-  :class:`~repro.core.flatfat.FlatFAT` per aggregate function over the
-  slice partials, trading update work for O(log s) window queries.
+* :class:`EagerAggregateStore` additionally maintains one incremental
+  *kernel* per aggregate function over the slice partials -- a
+  :class:`~repro.core.flatfat.FlatFAT` tree in the general case, or one
+  of the O(1) kernels from :mod:`repro.core.kernels` when the workload
+  characteristics allow (in-order stream, no splits).
+
+:class:`SharedQueryPlan` batches the window manager's per-watermark
+range queries so concurrently-open windows over the same slice chain
+reuse each other's partials: queries ending at the same slice differ
+only in how far left they reach, so the longest shared suffix is folded
+once and shorter windows extend it leftward (Factor-Windows-style
+sharing, counted as ``share.hits``).
 
 Slices are kept sorted by their start timestamp and never overlap, but
 gaps between slices are legal (empty stream regions get no slice).
@@ -20,18 +29,30 @@ gaps between slices are legal (empty stream regions get no slice).
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterator, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..aggregations.base import AggregateFunction
 from .flatfat import FlatFAT
+from .kernels import KernelKind, make_kernel
 from .slice_ import Slice
 from .tracing import Tracer
 
-__all__ = ["AggregateStore", "LazyAggregateStore", "EagerAggregateStore"]
+__all__ = [
+    "AggregateStore",
+    "LazyAggregateStore",
+    "EagerAggregateStore",
+    "SharedQueryPlan",
+]
 
 
 class AggregateStore:
     """Base class: an ordered, gap-tolerant collection of slices."""
+
+    #: Whether :class:`SharedQueryPlan` should answer batched queries by
+    #: folding shared suffixes once and extending leftward.  True where
+    #: range queries cost O(range) (lazy); the eager kernels answer each
+    #: query in O(1)/O(log s) already, so only duplicates are shared.
+    shared_suffix_folding = True
 
     def __init__(self, functions: Sequence[AggregateFunction]) -> None:
         self.functions = list(functions)
@@ -202,57 +223,164 @@ class LazyAggregateStore(AggregateStore):
 
 
 class EagerAggregateStore(AggregateStore):
-    """Slice list plus a FlatFAT per function over slice partials.
+    """Slice list plus one incremental kernel per function.
 
-    Structural changes (insert/remove/split/merge) rebuild the affected
-    trees; in-place aggregate updates repair one root path per tree.
-    The trees are small -- one leaf per *slice*, not per record -- which
-    is why eager slicing rarely suffers from out-of-order input
-    (Section 6.2.2).
+    Each kernel maintains the slice partials of one shared aggregate
+    function: a FlatFAT tree in the general case (O(log s) everything),
+    or a two-stacks / subtract-on-evict kernel (amortised O(1)) when the
+    workload characteristics permit (:func:`~repro.core.characteristics.
+    select_kernel`).  Structural changes (insert/remove/split/merge)
+    propagate to every kernel; in-place aggregate updates repair one
+    entry per kernel.  The kernels are small -- one leaf per *slice*,
+    not per record -- which is why eager slicing rarely suffers from
+    out-of-order input (Section 6.2.2).
     """
 
-    def __init__(self, functions: Sequence[AggregateFunction]) -> None:
+    shared_suffix_folding = False
+
+    def __init__(
+        self,
+        functions: Sequence[AggregateFunction],
+        kernel_kinds: Optional[Sequence[Union[KernelKind, str]]] = None,
+    ) -> None:
         super().__init__(functions)
-        self.trees: List[FlatFAT] = [FlatFAT(fn.combine) for fn in self.functions]
+        if kernel_kinds is None:
+            kinds = [KernelKind.FLAT_FAT] * len(self.functions)
+        else:
+            kinds = [KernelKind.coerce(kind) for kind in kernel_kinds]
+            if len(kinds) != len(self.functions):
+                raise ValueError(
+                    f"got {len(kinds)} kernel kinds for {len(self.functions)} functions"
+                )
+        self.kernel_kinds: Tuple[KernelKind, ...] = tuple(kinds)
+        self.kernels = [
+            make_kernel(kind, fn) for kind, fn in zip(kinds, self.functions)
+        ]
+
+    @property
+    def trees(self) -> list:
+        """Backwards-compatible alias from the FlatFAT-only era."""
+        return self.kernels
 
     @AggregateStore.tracer.setter
     def tracer(self, value: Optional[Tracer]) -> None:
         self._tracer = value
-        for tree in self.trees:
-            tree.tracer = value
+        for kernel in self.kernels:
+            kernel.tracer = value
 
     def append_slice(self, slice_: Slice) -> None:
         super().append_slice(slice_)
-        for fn_index, tree in enumerate(self.trees):
-            tree.append(slice_.aggs[fn_index])
+        for fn_index, kernel in enumerate(self.kernels):
+            kernel.append(slice_.aggs[fn_index])
+        if self._tracer is not None:
+            self._tracer.count("kernel.appends")
 
     def insert_slice(self, index: int, slice_: Slice) -> None:
         super().insert_slice(index, slice_)
-        for fn_index, tree in enumerate(self.trees):
-            tree.insert(index, slice_.aggs[fn_index])
+        for fn_index, kernel in enumerate(self.kernels):
+            kernel.insert(index, slice_.aggs[fn_index])
 
     def remove_slice(self, index: int) -> Slice:
         removed = super().remove_slice(index)
-        for tree in self.trees:
-            tree.remove(index)
+        for kernel in self.kernels:
+            kernel.remove(index)
         return removed
 
     def slice_updated(self, index: int) -> None:
         slice_ = self.slices[index]
-        for fn_index, tree in enumerate(self.trees):
-            tree.update(index, slice_.aggs[fn_index])
+        for fn_index, kernel in enumerate(self.kernels):
+            kernel.update(index, slice_.aggs[fn_index])
 
     def evict_before(self, ts: int) -> int:
         evicted = super().evict_before(ts)
         if evicted:
-            for tree in self.trees:
-                tree.remove_front(evicted)
+            for kernel in self.kernels:
+                kernel.remove_front(evicted)
+            if self._tracer is not None:
+                self._tracer.count("kernel.evictions", evicted)
         return evicted
 
     def query_slices(self, lo: int, hi: int, fn_index: int) -> Any:
-        """Combine slices ``[lo, hi)`` via the aggregate tree: O(log s)."""
+        """Combine slices ``[lo, hi)`` via the function's kernel."""
         if lo >= hi:
             return None
         if self._tracer is not None:
             self._tracer.count("store.range_queries")
-        return self.trees[fn_index].query(lo, hi)
+        return self.kernels[fn_index].query(lo, hi)
+
+
+class SharedQueryPlan:
+    """One watermark's batch of slice-range queries with partial reuse.
+
+    The window manager collects every time-window query triggered by a
+    watermark advance as ``(lo, hi, fn_index)`` requests, then calls
+    :meth:`execute` once.  Requests over the same function ending at the
+    same slice index share their suffix: the shortest range is folded
+    first, and each wider range only folds its extra leftward slices and
+    combines them *in front of* the cached suffix, preserving stream
+    order for non-commutative functions.  On stores whose point queries
+    are already cheap (eager kernels), only exact duplicates are shared.
+
+    Counters: ``share.requests`` (batched queries), ``share.hits``
+    (queries answered from a shared partial instead of a full fold).
+    """
+
+    __slots__ = ("_store", "_requests", "_results")
+
+    def __init__(self, store: AggregateStore) -> None:
+        self._store = store
+        self._requests: List[Tuple[int, int, int]] = []
+        self._results: List[Any] = []
+
+    def request(self, lo: int, hi: int, fn_index: int) -> int:
+        """Enqueue a query over slices ``[lo, hi)``; returns its token."""
+        self._requests.append((lo, hi, fn_index))
+        return len(self._requests) - 1
+
+    def result(self, token: int) -> Any:
+        return self._results[token]
+
+    def execute(self) -> None:
+        """Answer all enqueued requests (in one pass per share group)."""
+        store = self._store
+        tracer = store.tracer
+        requests = self._requests
+        self._results = results = [None] * len(requests)
+        if not requests:
+            return
+        if tracer is not None:
+            tracer.count("share.requests", len(requests))
+        if not store.shared_suffix_folding:
+            memo: Dict[Tuple[int, int, int], Any] = {}
+            for token, key in enumerate(requests):
+                if key in memo:
+                    results[token] = memo[key]
+                    if tracer is not None:
+                        tracer.count("share.hits")
+                else:
+                    memo[key] = results[token] = store.query_slices(*key)
+            return
+        # Group by (function, right edge); nested ranges share suffixes.
+        groups: Dict[Tuple[int, int], Dict[int, List[int]]] = {}
+        for token, (lo, hi, fn_index) in enumerate(requests):
+            groups.setdefault((fn_index, hi), {}).setdefault(lo, []).append(token)
+        for (fn_index, hi), by_lo in groups.items():
+            combine = store.functions[fn_index].combine
+            partial: Any = None
+            prev_lo = hi
+            first = True
+            for lo in sorted(by_lo, reverse=True):
+                extension = store._combine_range(lo, prev_lo, fn_index)
+                if partial is None:
+                    partial = extension
+                elif extension is not None:
+                    # The extension covers strictly earlier slices.
+                    partial = combine(extension, partial)
+                if tracer is not None and not first:
+                    tracer.count("share.hits", len(by_lo[lo]))
+                elif tracer is not None and len(by_lo[lo]) > 1:
+                    tracer.count("share.hits", len(by_lo[lo]) - 1)
+                first = False
+                prev_lo = lo
+                for token in by_lo[lo]:
+                    results[token] = partial

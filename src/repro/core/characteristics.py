@@ -23,6 +23,7 @@ from typing import Iterable, List, Sequence
 
 from ..aggregations.base import AggregateFunction, AggregationClass
 from ..windows.base import ContextClass, WindowType
+from .kernels import KernelKind
 from .measures import MeasureKind
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "requires_tuple_storage",
     "requires_splits",
     "removal_strategy",
+    "select_kernel",
 ]
 
 
@@ -144,6 +146,34 @@ def removal_strategy(query: Query, stream_in_order: bool) -> RemovalStrategy:
     return RemovalStrategy.RECOMPUTE
 
 
+def select_kernel(
+    function: AggregateFunction, *, stream_in_order: bool, needs_splits: bool
+) -> KernelKind:
+    """Pick the eager-store kernel for one aggregate function.
+
+    Extends the paper's decision figures with the kernel dimension:
+
+    * Out-of-order input or split-capable workloads need cheap middle
+      updates -- only the FlatFAT tree offers O(log s) there; the
+      specialised kernels degrade to O(s) rebuilds.
+    * Holistic partials grow with the data, so prefix/suffix aggregates
+      (both specialised kernels precompute them) would hold the whole
+      history per entry; the tree keeps holistic state bounded.
+    * Invertible, commutative functions with an exact invert get the
+      subtract-on-evict kernel: O(1) for every operation.
+    * Everything else associative gets two-stacks: amortised O(1)
+      append/evict/query without needing an invert, and order-preserving
+      for non-commutative functions.
+    """
+    if not stream_in_order or needs_splits or not function.associative:
+        return KernelKind.FLAT_FAT
+    if function.kind is AggregationClass.HOLISTIC:
+        return KernelKind.FLAT_FAT
+    if function.invertible and function.commutative and function.exact_invert:
+        return KernelKind.SUBTRACT_ON_EVICT
+    return KernelKind.TWO_STACKS
+
+
 class WorkloadCharacteristics:
     """The aggregated characteristics of a query set on one stream.
 
@@ -169,6 +199,14 @@ class WorkloadCharacteristics:
         self.removal_strategies = {
             q.query_id: removal_strategy(q, stream_in_order) for q in self.queries
         }
+
+    def kernel_for(self, function: AggregateFunction) -> KernelKind:
+        """Eager-store kernel choice for one shared aggregate function."""
+        return select_kernel(
+            function,
+            stream_in_order=self.stream_in_order,
+            needs_splits=self.needs_splits,
+        )
 
     @classmethod
     def of(

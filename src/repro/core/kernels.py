@@ -1,0 +1,455 @@
+"""Pluggable slice-aggregation kernels for the eager store.
+
+The eager aggregate store maintains one incremental structure per
+distinct aggregate function over the slice partials.  The paper uses a
+FlatFAT aggregate tree (O(log s) per operation) because it supports
+every workload; this module adds two specialised kernels that exploit
+workload characteristics (Section 4) for O(1) amortised work on the
+in-order hot path:
+
+* :class:`TwoStacksKernel` -- the two-stacks sliding-window algorithm of
+  Tangwongsan et al. (*In-Order Sliding-Window Aggregation in Worst-Case
+  Constant Time*): a *front* stack of suffix aggregates (popped on
+  eviction) and a *back* stack of prefix aggregates (pushed on append).
+  Append, evict, update-last, and boundary-straddling range queries are
+  all amortised O(1); only associativity is required, so it covers
+  non-commutative functions too.
+* :class:`SubtractOnEvictKernel` -- for invertible functions: absolute
+  prefix aggregates plus an eviction offset, answering any range query
+  in O(1) via one ``invert``.  Restricted to functions whose inversion
+  is exact on the partial domain (``exact_invert``) so results stay
+  bit-identical to recomputation.
+
+All kernels implement the same surface as
+:class:`~repro.core.flatfat.FlatFAT` (which remains the general-purpose
+kernel): ``append`` / ``extend`` / ``insert`` / ``remove`` /
+``remove_front`` / ``update`` / ``query`` / ``root`` / ``leaf`` /
+``leaves`` / ``__len__`` plus a ``tracer`` attribute.  Structural middle
+operations (``insert`` / ``remove``) degrade to O(n) rebuilds on the
+specialised kernels -- legal but slow, which is why
+:func:`~repro.core.characteristics.select_kernel` only picks them for
+workloads that never split slices.
+
+Range queries accumulate strictly left-to-right on every kernel, so all
+kernels return bit-identical partials for exact (integer-valued)
+arithmetic regardless of which one the characteristics select.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from ..aggregations.base import AggregateFunction
+from .flatfat import FlatFAT
+
+__all__ = [
+    "KernelKind",
+    "TwoStacksKernel",
+    "SubtractOnEvictKernel",
+    "make_kernel",
+]
+
+
+class KernelKind(enum.Enum):
+    """Which incremental structure backs one function's slice partials."""
+
+    #: FlatFAT aggregate tree: O(log s) everything, any workload.
+    FLAT_FAT = "flatfat"
+    #: Two-stacks: amortised O(1) append/evict/query, in-order only.
+    TWO_STACKS = "two_stacks"
+    #: Prefix aggregates + invert: O(1) everything, invertible functions.
+    SUBTRACT_ON_EVICT = "subtract_on_evict"
+
+    @classmethod
+    def coerce(cls, value: Union["KernelKind", str]) -> "KernelKind":
+        """Accept both enum members and their string values (CLI/tests)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            names = ", ".join(sorted(k.value for k in cls))
+            raise ValueError(
+                f"unknown kernel {value!r}; expected one of: {names}"
+            ) from None
+
+
+class TwoStacksKernel:
+    """Two-stacks sliding-window aggregation over slice partials.
+
+    The logical leaf sequence is split into a *front* region (evicted
+    first) and a *back* region (appended to).  ``_front[k]`` stores
+    ``(value, agg)`` for leaf ``m-1-k`` (``m`` = front length) where
+    ``agg`` combines leaves ``m-1-k .. m-1`` left-to-right; ``_back[j]``
+    stores ``(value, agg)`` for leaf ``m+j`` where ``agg`` combines
+    leaves ``m .. m+j``.  Evicting with an empty front *flips* the back
+    stack -- every element but the newest moves to the front with suffix
+    aggregates -- so each element is moved at most once (amortised O(1))
+    and the newest element stays in the back, keeping the per-record
+    ``update(size-1)`` of the eager hot path O(1) as well.
+
+    Range queries are O(1) whenever the range touches or spans the
+    front/back boundary (every emission query on a sliding window does);
+    ranges strictly inside one region fall back to an exact
+    left-to-right scan of the stored values.
+    """
+
+    __slots__ = ("_combine", "_front", "_back", "tracer")
+
+    def __init__(self, combine) -> None:
+        self._combine = combine
+        self._front: List[Tuple[Any, Any]] = []
+        self._back: List[Tuple[Any, Any]] = []
+        #: Observability sink (``two_stacks.*`` counters); ``None`` off.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # internal helpers
+
+    def _merge(self, left: Any, right: Any) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return self._combine(left, right)
+
+    def _flip(self) -> None:
+        """Move all back elements but the newest onto the empty front."""
+        back = self._back
+        newest = back[-1]
+        front = self._front
+        agg: Any = None
+        for value, _ in reversed(back[:-1]):
+            agg = self._merge(value, agg)
+            front.append((value, agg))
+        self._back = [(newest[0], newest[0])]
+        if self.tracer is not None:
+            self.tracer.count("two_stacks.flips")
+
+    def _rebuild(self, leaves: Sequence[Any]) -> None:
+        """Reset from a full leaf list (middle insert/remove): O(n)."""
+        self._front = []
+        back: List[Tuple[Any, Any]] = []
+        agg: Any = None
+        for value in leaves:
+            agg = self._merge(agg, value)
+            back.append((value, agg))
+        self._back = back
+        if self.tracer is not None:
+            self.tracer.count("two_stacks.rebuilds")
+
+    # ------------------------------------------------------------------
+    # public API (FlatFAT-compatible)
+
+    def __len__(self) -> int:
+        return len(self._front) + len(self._back)
+
+    def leaf(self, index: int) -> Any:
+        size = len(self)
+        if not 0 <= index < size:
+            raise IndexError(f"leaf index {index} out of range (size {size})")
+        m = len(self._front)
+        if index < m:
+            return self._front[m - 1 - index][0]
+        return self._back[index - m][0]
+
+    def leaves(self) -> List[Any]:
+        return [entry[0] for entry in reversed(self._front)] + [
+            entry[0] for entry in self._back
+        ]
+
+    def append(self, partial: Any) -> None:
+        back = self._back
+        agg = self._merge(back[-1][1] if back else None, partial)
+        back.append((partial, agg))
+
+    def extend(self, partials: Sequence[Any]) -> None:
+        for partial in partials:
+            self.append(partial)
+
+    def update(self, index: int, partial: Any) -> None:
+        size = len(self)
+        if not 0 <= index < size:
+            raise IndexError(f"leaf index {index} out of range (size {size})")
+        m = len(self._front)
+        if index >= m:
+            # Back region: repair prefix aggregates from the changed
+            # element on.  The hot path updates the newest leaf -- O(1).
+            back = self._back
+            j = index - m
+            agg = back[j - 1][1] if j > 0 else None
+            back[j] = (partial, self._merge(agg, partial))
+            for jj in range(j + 1, len(back)):
+                value = back[jj][0]
+                back[jj] = (value, self._merge(back[jj - 1][1], value))
+        else:
+            # Front region: repair suffix aggregates from the changed
+            # element toward older entries (only forced out-of-order
+            # usage reaches this branch).
+            front = self._front
+            k = m - 1 - index
+            front[k] = (partial, self._merge(partial, front[k - 1][1] if k > 0 else None))
+            for kk in range(k + 1, m):
+                value = front[kk][0]
+                front[kk] = (value, self._merge(value, front[kk - 1][1]))
+
+    def insert(self, index: int, partial: Any) -> None:
+        size = len(self)
+        if not 0 <= index <= size:
+            raise IndexError(f"insert index {index} out of range (size {size})")
+        if index == size:
+            self.append(partial)
+            return
+        leaves = self.leaves()
+        leaves.insert(index, partial)
+        self._rebuild(leaves)
+
+    def remove(self, index: int) -> Any:
+        size = len(self)
+        if not 0 <= index < size:
+            raise IndexError(f"leaf index {index} out of range (size {size})")
+        if index == 0:
+            removed = self.leaf(0)
+            self.remove_front(1)
+            return removed
+        leaves = self.leaves()
+        removed = leaves.pop(index)
+        self._rebuild(leaves)
+        return removed
+
+    def remove_front(self, count: int) -> None:
+        if count <= 0:
+            return
+        size = len(self)
+        if count > size:
+            raise IndexError(f"cannot remove {count} of {size} leaves")
+        front, back = self._front, self._back
+        for _ in range(count):
+            if not front:
+                if len(back) == 1:
+                    back.pop()
+                    continue
+                self._flip()
+                front = self._front
+                back = self._back
+            front.pop()
+
+    def query(self, lo: int, hi: int) -> Any:
+        """Combine leaves ``[lo, hi)`` left-to-right.
+
+        O(1) when the range touches or spans the front/back boundary;
+        exact linear scan otherwise.
+        """
+        size = len(self)
+        if lo < 0 or hi > size:
+            raise IndexError(f"query range [{lo}, {hi}) out of bounds (size {size})")
+        if lo >= hi:
+            return None
+        if self.tracer is not None:
+            self.tracer.count("two_stacks.queries")
+        m = len(self._front)
+        front_part: Any = None
+        if lo < m:
+            front_hi = min(hi, m)
+            if front_hi == m:
+                # Suffix of the front region: precomputed aggregate.
+                front_part = self._front[m - 1 - lo][1]
+            else:
+                for i in range(lo, front_hi):
+                    front_part = self._merge(front_part, self._front[m - 1 - i][0])
+        back_part: Any = None
+        if hi > m:
+            a = max(lo, m) - m
+            b = hi - m
+            if a == 0:
+                # Prefix of the back region: precomputed aggregate.
+                back_part = self._back[b - 1][1]
+            else:
+                for j in range(a, b):
+                    back_part = self._merge(back_part, self._back[j][0])
+        return self._merge(front_part, back_part)
+
+    def root(self) -> Any:
+        if len(self) == 0:
+            return None
+        return self.query(0, len(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TwoStacksKernel(front={len(self._front)}, back={len(self._back)})"
+
+
+class SubtractOnEvictKernel:
+    """Prefix-aggregate kernel for invertible functions.
+
+    Keeps the physical leaf list plus *absolute* prefix aggregates
+    (``_prefix[p]`` combines physical leaves ``0..p-1``, skipping
+    ``None``) and prefix counts of non-``None`` leaves.  Eviction just
+    advances ``_start``; a range query combines in O(1) as
+    ``invert(prefix[b], prefix[a])``, with the counts distinguishing a
+    genuinely empty range (result ``None``) from a zero-valued
+    aggregate.  The physical arrays are compacted once the evicted
+    prefix outgrows the live suffix, keeping memory proportional to the
+    live slice count.
+
+    Only safe for commutative invertible functions whose ``invert``
+    reverses ``combine`` exactly on the partial domain
+    (:attr:`~repro.aggregations.base.AggregateFunction.exact_invert`).
+    """
+
+    __slots__ = ("_function", "_leaves", "_prefix", "_counts", "_start", "tracer")
+
+    #: Keep at least this many evicted physical leaves before compacting.
+    _COMPACT_MIN = 32
+
+    def __init__(self, function: AggregateFunction) -> None:
+        if not function.invertible:
+            raise ValueError(
+                f"SubtractOnEvictKernel requires an invertible function, "
+                f"got {function.name!r}"
+            )
+        self._function = function
+        self._leaves: List[Any] = []
+        self._prefix: List[Any] = [None]
+        self._counts: List[int] = [0]
+        self._start = 0
+        #: Observability sink (``subtract_on_evict.*`` counters).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # internal helpers
+
+    def _merge(self, left: Any, right: Any) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return self._function.combine(left, right)
+
+    def _recompute_from(self, physical: int) -> None:
+        """Repair prefixes/counts for physical indices ``>= physical``."""
+        leaves, prefix, counts = self._leaves, self._prefix, self._counts
+        del prefix[physical + 1 :]
+        del counts[physical + 1 :]
+        agg = prefix[physical]
+        n = counts[physical]
+        for value in leaves[physical:]:
+            agg = self._merge(agg, value)
+            n += 0 if value is None else 1
+            prefix.append(agg)
+            counts.append(n)
+
+    def _compact(self) -> None:
+        self._leaves = self._leaves[self._start :]
+        self._start = 0
+        self._prefix = [None]
+        self._counts = [0]
+        self._recompute_from(0)
+        if self.tracer is not None:
+            self.tracer.count("subtract_on_evict.compactions")
+
+    # ------------------------------------------------------------------
+    # public API (FlatFAT-compatible)
+
+    def __len__(self) -> int:
+        return len(self._leaves) - self._start
+
+    def leaf(self, index: int) -> Any:
+        if not 0 <= index < len(self):
+            raise IndexError(f"leaf index {index} out of range (size {len(self)})")
+        return self._leaves[self._start + index]
+
+    def leaves(self) -> List[Any]:
+        return self._leaves[self._start :]
+
+    def append(self, partial: Any) -> None:
+        self._leaves.append(partial)
+        self._prefix.append(self._merge(self._prefix[-1], partial))
+        self._counts.append(self._counts[-1] + (0 if partial is None else 1))
+
+    def extend(self, partials: Sequence[Any]) -> None:
+        for partial in partials:
+            self.append(partial)
+
+    def update(self, index: int, partial: Any) -> None:
+        if not 0 <= index < len(self):
+            raise IndexError(f"leaf index {index} out of range (size {len(self)})")
+        physical = self._start + index
+        self._leaves[physical] = partial
+        # O(1) for the hot-path update of the newest leaf; O(suffix)
+        # otherwise (only forced out-of-order usage reaches the middle).
+        self._recompute_from(physical)
+
+    def insert(self, index: int, partial: Any) -> None:
+        if not 0 <= index <= len(self):
+            raise IndexError(f"insert index {index} out of range (size {len(self)})")
+        physical = self._start + index
+        self._leaves.insert(physical, partial)
+        self._recompute_from(physical)
+
+    def remove(self, index: int) -> Any:
+        if not 0 <= index < len(self):
+            raise IndexError(f"leaf index {index} out of range (size {len(self)})")
+        physical = self._start + index
+        removed = self._leaves.pop(physical)
+        self._recompute_from(physical)
+        return removed
+
+    def remove_front(self, count: int) -> None:
+        if count <= 0:
+            return
+        if count > len(self):
+            raise IndexError(f"cannot remove {count} of {len(self)} leaves")
+        self._start += count
+        if self._start >= self._COMPACT_MIN and self._start * 2 >= len(self._leaves):
+            self._compact()
+
+    def query(self, lo: int, hi: int) -> Any:
+        size = len(self)
+        if lo < 0 or hi > size:
+            raise IndexError(f"query range [{lo}, {hi}) out of bounds (size {size})")
+        if lo >= hi:
+            return None
+        if self.tracer is not None:
+            self.tracer.count("subtract_on_evict.queries")
+        a = self._start + lo
+        b = self._start + hi
+        counts = self._counts
+        if counts[b] == counts[a]:
+            return None  # only empty leaves in range
+        prefix_b = self._prefix[b]
+        if counts[a] == 0:
+            return prefix_b
+        return self._function.invert(prefix_b, self._prefix[a])
+
+    def root(self) -> Any:
+        if len(self) == 0:
+            return None
+        return self.query(0, len(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SubtractOnEvictKernel(size={len(self)}, "
+            f"evicted={self._start}, fn={self._function.name})"
+        )
+
+
+def make_kernel(kind: Union[KernelKind, str], function: AggregateFunction):
+    """Instantiate the kernel backing one function's slice partials.
+
+    Raises :class:`ValueError` for combinations that cannot be correct
+    (subtract-on-evict without an ``invert``); combinations that are
+    merely slow (two-stacks under splits) are allowed, so forced
+    overrides can exercise every kernel on every stream.
+    """
+    kind = KernelKind.coerce(kind)
+    if kind is KernelKind.FLAT_FAT:
+        return FlatFAT(function.combine)
+    if kind is KernelKind.TWO_STACKS:
+        return TwoStacksKernel(function.combine)
+    if not function.invertible:
+        raise ValueError(
+            f"kernel {kind.value!r} requires an invertible aggregation, "
+            f"got {function.name!r}"
+        )
+    return SubtractOnEvictKernel(function)

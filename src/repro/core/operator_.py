@@ -37,6 +37,7 @@ from ..windows.punctuation import PunctuationWindow
 from ..windows.session import SessionWindow
 from .aggregate_store import AggregateStore, EagerAggregateStore, LazyAggregateStore
 from .characteristics import Query, WorkloadCharacteristics
+from .kernels import KernelKind
 from .measures import MeasureKind
 from .operator_base import StreamOrderViolation, WindowOperator
 from .slice_manager import Modification, SliceManager
@@ -61,6 +62,8 @@ class _Chain:
         eager: bool,
         emit_empty: bool,
         share_aggregates: bool = True,
+        share_windows: bool = True,
+        kernel: Optional[KernelKind] = None,
     ) -> None:
         self.measure_kind = measure_kind
         self.queries = queries
@@ -85,8 +88,20 @@ class _Chain:
 
         characteristics = WorkloadCharacteristics(queries, in_order)
         self.characteristics = characteristics
-        store_cls = EagerAggregateStore if eager else LazyAggregateStore
-        self.store: AggregateStore = store_cls(self.functions)
+        #: Eager-store kernel per shared function: auto-selected from
+        #: the workload characteristics, or forced by the override.
+        self.kernel_kinds: tuple = ()
+        if eager:
+            if kernel is not None:
+                kinds = [kernel] * len(self.functions)
+            else:
+                kinds = [characteristics.kernel_for(fn) for fn in self.functions]
+            self.store: AggregateStore = EagerAggregateStore(
+                self.functions, kernel_kinds=kinds
+            )
+            self.kernel_kinds = tuple(kinds)
+        else:
+            self.store = LazyAggregateStore(self.functions)
         self.eager_store = eager
 
         self._windows = [query.window for query in queries]
@@ -117,7 +132,9 @@ class _Chain:
             track_counts=track_counts,
             edges_move=self.edges_move,
         )
-        self.window_manager = WindowManager(self.store, self.manager, emit_empty=emit_empty)
+        self.window_manager = WindowManager(
+            self.store, self.manager, emit_empty=emit_empty, share_windows=share_windows
+        )
         for query_pos, query in enumerate(queries):
             self.window_manager.add_query(
                 ManagedQuery(
@@ -226,14 +243,28 @@ class GeneralSlicingOperator(WindowOperator):
         operators emit windows immediately (no watermarks needed) and
         raise :class:`StreamOrderViolation` on a late record.
     eager:
-        Maintain a FlatFAT over slice partials (eager slicing): lower
-        output latency, slightly lower throughput (Figure 11 vs 8/9).
+        Maintain an incremental kernel per function over slice partials
+        (eager slicing): lower output latency, slightly lower throughput
+        (Figure 11 vs 8/9).  The kernel is auto-selected from the
+        workload characteristics (FlatFAT / two-stacks /
+        subtract-on-evict); ``kernel=`` forces one for ablations.
     allowed_lateness:
         How long after the watermark late records still produce update
         results.  Records later than this are dropped.
     emit_empty:
         Emit results for windows containing no records (off by default,
         matching Flink's behaviour).
+    kernel:
+        Force one eager-store kernel for every function instead of the
+        characteristics-driven selection.  Accepts a
+        :class:`~repro.core.kernels.KernelKind` or its string value
+        (``"flatfat"``, ``"two_stacks"``, ``"subtract_on_evict"``).
+        Requires ``eager=True``; illegal combinations (subtract without
+        an invert) raise on query registration.
+    share_windows:
+        Batch each watermark's time-window queries so concurrently-open
+        windows reuse each other's slice-range partials (on by
+        default; off for ablations).
     """
 
     def __init__(
@@ -245,6 +276,8 @@ class GeneralSlicingOperator(WindowOperator):
         emit_empty: bool = False,
         timestamp_of: Optional[Callable[[Record], int]] = None,
         share_aggregates: bool = True,
+        share_windows: bool = True,
+        kernel: Optional[object] = None,
     ) -> None:
         super().__init__()
         self.stream_in_order = stream_in_order
@@ -254,6 +287,14 @@ class GeneralSlicingOperator(WindowOperator):
         #: Ablation switch: when False, every query keeps its own partial
         #: per slice instead of sharing by aggregation signature.
         self.share_aggregates = share_aggregates
+        #: Ablation switch: shared-window partial reuse on watermarks.
+        self.share_windows = share_windows
+        if kernel is not None and not eager:
+            raise ValueError("kernel override requires eager=True")
+        #: Forced eager-store kernel, or None for auto-selection.
+        self.kernel: Optional[KernelKind] = (
+            KernelKind.coerce(kernel) if kernel is not None else None
+        )
         #: Optional arbitrary-advancing-measure extractor (Section 4.3):
         #: when set, records are re-timestamped with this measure before
         #: slicing, so windows are defined on kilometres, transaction
@@ -287,6 +328,8 @@ class GeneralSlicingOperator(WindowOperator):
                 eager=self.eager,
                 emit_empty=self.emit_empty,
                 share_aggregates=self.share_aggregates,
+                share_windows=self.share_windows,
+                kernel=self.kernel,
             )
         self._chains = rebuilt
         self._chain_list = tuple(rebuilt.values())
@@ -309,6 +352,11 @@ class GeneralSlicingOperator(WindowOperator):
     def characteristics(self) -> Dict[MeasureKind, WorkloadCharacteristics]:
         """Per-chain workload characteristics (for introspection/tests)."""
         return {kind: chain.characteristics for kind, chain in self._chains.items()}
+
+    @property
+    def kernel_selection(self) -> Dict[MeasureKind, tuple]:
+        """Per-chain eager-store kernel kinds (empty tuples when lazy)."""
+        return {kind: chain.kernel_kinds for kind, chain in self._chains.items()}
 
     @property
     def stores_records(self) -> bool:

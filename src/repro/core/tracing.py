@@ -3,8 +3,11 @@
 The paper's argument is quantitative -- which technique is fast, and
 *why*.  The why is invisible from throughput numbers alone: it lives in
 how many slices the slicer cut, how many merges the slice manager
-performed, how many FlatFAT nodes an eager update touched.  This module
-makes those visible without making them expensive.
+performed, how many FlatFAT nodes an eager update touched, which kernel
+absorbed the slice traffic (``kernel.appends`` / ``kernel.evictions``)
+and how often overlapping windows reused a shared partial
+(``share.hits``).  This module makes those visible without making them
+expensive.
 
 Design rules
 ------------

@@ -29,7 +29,7 @@ from ..aggregations.base import AggregateFunction
 from ..windows.base import ContextClass
 from ..windows.multimeasure import LastNEveryWindow
 from ..windows.session import SessionWindow
-from .aggregate_store import AggregateStore
+from .aggregate_store import AggregateStore, SharedQueryPlan
 from .measures import MeasureKind
 from .slice_manager import Modification, SliceManager
 from .types import WindowResult
@@ -52,16 +52,28 @@ class ManagedQuery:
 class WindowManager:
     """Final aggregation and emission for one slicing chain."""
 
+    #: Minimum upper-bound on saved slice combines (total spanned slices
+    #: minus the widest range) before a trigger batch goes through the
+    #: :class:`SharedQueryPlan`; below it, direct per-window queries are
+    #: cheaper than the plan's grouping.  Results are identical either
+    #: way -- this is purely a cost crossover.
+    share_min_savings = 8
+
     def __init__(
         self,
         store: AggregateStore,
         slice_manager: SliceManager,
         *,
         emit_empty: bool = False,
+        share_windows: bool = True,
     ) -> None:
         self._store = store
         self._manager = slice_manager
         self._emit_empty = emit_empty
+        #: Batch each watermark's time-window queries through a
+        #: :class:`SharedQueryPlan` so overlapping windows reuse
+        #: partials.  Off only for ablations.
+        self._share_windows = share_windows
         self._queries: List[ManagedQuery] = []
         self._prev_wm: Optional[int] = None
         #: Emitted (start, end) pairs per query, pruned on eviction.
@@ -98,7 +110,14 @@ class WindowManager:
     # emission on watermark progress
 
     def advance(self, wm: int) -> List[WindowResult]:
-        """Emit all windows that ended at or before ``wm``."""
+        """Emit all windows that ended at or before ``wm``.
+
+        Time-window queries are collected into one
+        :class:`SharedQueryPlan` and answered together so overlapping
+        windows (across all queries of this chain) reuse each other's
+        slice-range partials; placeholder slots keep the emission order
+        identical to per-window evaluation.
+        """
         prev = self._prev_wm
         if prev is not None and wm <= prev:
             return []
@@ -110,6 +129,8 @@ class WindowManager:
             # contain records, so start enumerating there.
             earliest = self._store.slices[0].start if self._store.slices else wm
             lower_bound = min(earliest, wm) - 1
+        share = self._share_windows
+        pending: List[Tuple[int, ManagedQuery, int, int, int, int]] = []
         for managed in self._queries:
             window = managed.window
             if isinstance(window, SessionWindow):
@@ -119,29 +140,71 @@ class WindowManager:
             elif window.measure_kind is MeasureKind.COUNT:
                 results.extend(self._trigger_count(managed, wm))
             else:
-                results.extend(self._trigger_time(managed, lower_bound, wm))
+                self._trigger_time(managed, lower_bound, wm, share, pending, results)
+        if pending:
+            # Sharing pays when the trigger batch re-covers slice ranges
+            # (nested sliding windows, many queries); for one window, or
+            # a few short disjoint ranges, the plan's grouping machinery
+            # costs more than the handful of combines it saves.  The
+            # upper bound on saved combines is the total spanned length
+            # minus the widest range (perfect nesting).
+            spans = [hi - lo for _, _, _, _, lo, hi in pending]
+            if len(pending) >= 2 and sum(spans) - max(spans) >= self.share_min_savings:
+                plan = SharedQueryPlan(self._store)
+                tokens = [
+                    plan.request(lo, hi, managed.fn_index)
+                    for _, managed, _, _, lo, hi in pending
+                ]
+                plan.execute()
+                partials = [plan.result(token) for token in tokens]
+            else:
+                partials = [
+                    self._store.query_slices(lo, hi, managed.fn_index)
+                    for _, managed, _, _, lo, hi in pending
+                ]
+            for (slot, managed, start, end, _, _), partial in zip(pending, partials):
+                if partial is None and not self._emit_empty:
+                    continue
+                value = managed.function.lower_or_default(partial)
+                self._emitted[managed.query_id].add((start, end))
+                results[slot] = WindowResult(managed.query_id, start, end, value)
+            results = [r for r in results if r is not None]
         self._prev_wm = wm
         return results
 
-    def _trigger_time(self, managed: ManagedQuery, prev: int, wm: int) -> List[WindowResult]:
-        results: List[WindowResult] = []
+    def _trigger_time(
+        self,
+        managed: ManagedQuery,
+        prev: int,
+        wm: int,
+        share: bool,
+        pending: List[Tuple[int, ManagedQuery, int, int, int, int]],
+        results: List[WindowResult],
+    ) -> None:
         emitted = self._emitted[managed.query_id]
         for start, end in managed.window.trigger_windows(prev, wm):
             if (start, end) in emitted:
                 continue
-            result = self._time_window_result(managed, start, end, is_update=False)
-            if result is not None:
-                emitted.add((start, end))
-                results.append(result)
-        return results
+            if not share:
+                result = self._time_window_result(managed, start, end, is_update=False)
+                if result is not None:
+                    emitted.add((start, end))
+                    results.append(result)
+            else:
+                lo, hi = self._query_range(start, end)
+                # Reserve the emission slot now; resolved after the
+                # whole trigger batch is collected.
+                pending.append((len(results), managed, start, end, lo, hi))
+                results.append(None)  # type: ignore[arg-type]
 
-    def _time_window_result(
-        self, managed: ManagedQuery, start: int, end: int, is_update: bool
-    ) -> Optional[WindowResult]:
+    def _query_range(self, start: int, end: int) -> Tuple[int, int]:
+        """Slice index range covering time window ``[start, end)``.
+
+        The open head slice has no end yet, but the slicer guarantees it
+        holds no record at/after the next uncut window edge, so it is
+        included whenever its records provably precede the window end.
+        """
         lo, hi = self._store.range_indices(start, end)
-        # The open head slice has no end yet, but the slicer guarantees it
-        # holds no record at/after the next uncut window edge, so it can be
-        # included whenever its records provably precede the window end.
         slices = self._store.slices
         if hi < len(slices):
             head = slices[hi]
@@ -151,6 +214,12 @@ class WindowManager:
                 and (head.last_ts is None or head.last_ts < end)
             ):
                 hi += 1
+        return lo, hi
+
+    def _time_window_result(
+        self, managed: ManagedQuery, start: int, end: int, is_update: bool
+    ) -> Optional[WindowResult]:
+        lo, hi = self._query_range(start, end)
         partial = self._store.query_slices(lo, hi, managed.fn_index)
         if partial is None and not self._emit_empty:
             return None

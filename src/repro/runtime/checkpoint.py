@@ -10,6 +10,13 @@ Snapshots carry a small versioned header (magic + format version) so a
 restore can tell a checkpoint from arbitrary bytes and reject blobs
 written by an incompatible build, instead of blindly unpickling.
 
+The operator object graph includes the eager store's aggregation
+kernels (FlatFAT trees, two-stacks fronts/backs, subtract-on-evict
+prefix arrays), so kernel state rides the same pickle -- a restored
+operator resumes with the exact internal structure, not a rebuilt one
+(pinned by ``tests/test_kernel_properties.py`` and the kernel chaos
+tests in ``tests/test_chaos_equivalence.py``).
+
 This pairs with the source's replay position: restore the operator from
 the snapshot and re-feed the elements after the snapshot point --
 standard checkpoint-and-replay semantics.  The supervised driver built

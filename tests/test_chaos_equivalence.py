@@ -37,6 +37,8 @@ from repro.windows import (
     TumblingWindow,
 )
 
+pytestmark = pytest.mark.chaos
+
 CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "1729"))
 CRASHES = 3
 N_RECORDS = 450
@@ -181,6 +183,30 @@ def test_multi_query_chaos_with_all_fault_kinds(eager):
     assert stats.restarts == 5  # 4 crashes + 1 post-record error
     assert stats.source_retries == 2
     assert stats.deduped_results > 0
+    assert results == expected
+
+
+@pytest.mark.parametrize(
+    "kernel", ["flatfat", "two_stacks", "subtract_on_evict"]
+)
+def test_kernel_state_chaos_equivalence(kernel):
+    """Each aggregation kernel's internal state (FlatFAT tree, the two
+    stacks, subtract-on-evict prefixes) must ride checkpoints cleanly:
+    crash mid-stream, recover, and the remaining windows still close on
+    the exact same values as an uninterrupted run."""
+
+    def factory():
+        operator = GeneralSlicingOperator(
+            stream_in_order=True, eager=True, kernel=kernel, allowed_lateness=0
+        )
+        operator.add_query(TumblingWindow(50), Sum())
+        operator.add_query(SlidingWindow(80, 20), Average())
+        return operator
+
+    results, stats, expected = run_chaos(
+        factory, inorder_stream(), combo_seed("kernel", kernel, "in")
+    )
+    assert stats.restarts == CRASHES
     assert results == expected
 
 

@@ -37,6 +37,8 @@ from repro.runtime.keyed import KeyedWindowOperator
 from repro.windows import SessionWindow, SlidingWindow, TumblingWindow
 from repro.windows.count import CountSlidingWindow, CountTumblingWindow
 
+pytestmark = pytest.mark.fuzz
+
 BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20190326"))
 
 # Lateness bound handed to out-of-order operators: effectively "never
@@ -174,6 +176,42 @@ def _ooo_operators():
     ]
 
 
+def _subtract_legal(draws: List[QueryDraw]) -> bool:
+    """Whether every drawn aggregation supports the subtract kernel."""
+    return all(
+        make_agg().invertible and make_agg().exact_invert for _, make_agg, _ in draws
+    )
+
+
+def _kernel_override_operators(draws: List[QueryDraw], *, in_order: bool):
+    """Forced-kernel / sharing-ablation axis: every kernel faces the
+    same random streams and window sets as the auto-selected operators.
+
+    Forcing is *legal but slow* off a kernel's sweet spot (two-stacks
+    under out-of-order inserts degrades to O(s) rebuilds); only
+    subtract-on-evict without an invertible function is rejected at
+    construction, so that variant joins only when every drawn
+    aggregation supports it.
+    """
+    lateness = 0 if in_order else LATENESS
+
+    def make(**kwargs):
+        return lambda: GeneralSlicingOperator(
+            stream_in_order=in_order, allowed_lateness=lateness, **kwargs
+        )
+
+    operators = [
+        ("lazy-unshared", make(share_windows=False)),
+        ("eager-flatfat", make(eager=True, kernel="flatfat")),
+        ("eager-two-stacks", make(eager=True, kernel="two_stacks")),
+    ]
+    if _subtract_legal(draws):
+        operators.append(
+            ("eager-subtract", make(eager=True, kernel="subtract_on_evict"))
+        )
+    return operators
+
+
 # ----------------------------------------------------------------------
 # differential check + shrinking
 
@@ -255,6 +293,8 @@ def test_fuzz_inorder_all_techniques(case):
     periodic_only_ok = not (any_session or any_count)
     for name, make_operator in _inorder_operators(periodic_only_ok=periodic_only_ok):
         _check_technique(name, make_operator, draws, stream, seed)
+    for name, make_operator in _kernel_override_operators(draws, in_order=True):
+        _check_technique(name, make_operator, draws, stream, seed)
 
 
 @pytest.mark.parametrize("case", range(OOO_CASES))
@@ -266,6 +306,8 @@ def test_fuzz_out_of_order_general_techniques(case):
     )
     arrival = _draw_disorder(rng, _draw_stream(rng))
     for name, make_operator in _ooo_operators():
+        _check_technique(name, make_operator, draws, arrival, seed)
+    for name, make_operator in _kernel_override_operators(draws, in_order=False):
         _check_technique(name, make_operator, draws, arrival, seed)
 
 

@@ -1,0 +1,303 @@
+"""Property-based kernel suite: random op sequences vs a list oracle.
+
+Every kernel (FlatFAT, two-stacks, subtract-on-evict) is driven through
+seeded random operation sequences -- append / update / insert / remove /
+evict / merge / query -- for every aggregation in the default registry,
+and checked step-by-step against a brute-force oracle that keeps the
+leaf partials in a plain list and folds ranges left-to-right.
+
+Mirrors ``tests/test_differential_fuzz.py``: the base seed comes from
+``REPRO_KERNEL_SEED`` (default pinned), each case derives a child seed,
+and a failing op sequence is greedily shrunk (drop one op at a time
+while the disagreement persists) before being printed in a pasteable
+form.  Op arguments are stored as raw integers and mapped onto the
+current structure size at apply time, so dropped ops never invalidate
+later ones.
+
+Comparisons go through ``lower_or_default`` so partial representations
+(tuples, RLE runs, M4 structs) compare by meaning; floats use the same
+1e-9 ``isclose`` tolerance as ``tests/test_aggregations_properties.py``
+(geomean's log-sum partials re-associate across kernels).
+
+A snapshot/restore test at the bottom covers the checkpoint side: every
+kernel's state must survive a mid-stream RSLC round-trip bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import random
+from typing import Any, List, Optional, Tuple
+
+import pytest
+
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Sum, default_registry
+from repro.aggregations.base import AggregateFunction
+from repro.core.kernels import KernelKind, make_kernel
+from repro.runtime.checkpoint import restore, snapshot
+from repro.windows import SlidingWindow, TumblingWindow
+
+pytestmark = pytest.mark.fuzz
+
+BASE_SEED = int(os.environ.get("REPRO_KERNEL_SEED", "20150831"))
+
+SEEDS = range(3)
+OPS_PER_CASE = 120
+
+#: Op kinds with draw weights; raw arguments are resolved at apply time.
+OP_KINDS = (
+    ("append", 5),
+    ("update", 2),
+    ("insert", 1),
+    ("remove", 1),
+    ("evict", 2),
+    ("merge", 1),
+    ("query", 3),
+)
+_WEIGHTED = [kind for kind, weight in OP_KINDS for _ in range(weight)]
+
+Op = Tuple[str, int, int, int]  # (kind, raw_a, raw_b, raw_value)
+
+
+def _child_seed(fn_name: str, kernel: str, index: int) -> int:
+    return random.Random(f"{BASE_SEED}:{fn_name}:{kernel}:{index}").randrange(2**63)
+
+
+def _cases():
+    for fn_name, fn in default_registry().items():
+        kinds = [KernelKind.FLAT_FAT, KernelKind.TWO_STACKS]
+        if fn.invertible:
+            kinds.append(KernelKind.SUBTRACT_ON_EVICT)
+        for kind in kinds:
+            for seed_index in SEEDS:
+                yield pytest.param(
+                    fn_name, kind, seed_index, id=f"{fn_name}-{kind.value}-s{seed_index}"
+                )
+
+
+# ----------------------------------------------------------------------
+# oracle and comparison
+
+
+def _lift_value(function: AggregateFunction, fn_name: str, raw: int) -> Any:
+    """Map a raw int draw onto this function's input domain."""
+    value = float(raw % 50 + 1)  # strictly positive: geomean-safe
+    if fn_name in ("argmin", "argmax"):
+        return function.lift((value, f"t{raw % 7}"))
+    return function.lift(value)
+
+
+def _oracle_fold(function: AggregateFunction, leaves: List[Any], lo: int, hi: int) -> Any:
+    partial = None
+    for leaf in leaves[lo:hi]:
+        if leaf is None:
+            continue
+        partial = leaf if partial is None else function.combine(partial, leaf)
+    return partial
+
+
+def _approx_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, float) and isinstance(right, float):
+        return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9)
+    if isinstance(left, (tuple, list)) and isinstance(right, (tuple, list)):
+        return len(left) == len(right) and all(
+            _approx_equal(a, b) for a, b in zip(left, right)
+        )
+    return left == right
+
+
+def _lowered(function: AggregateFunction, partial: Any) -> Any:
+    return function.lower_or_default(partial)
+
+
+# ----------------------------------------------------------------------
+# op application
+
+
+def _generate_ops(rng: random.Random) -> List[Op]:
+    return [
+        (
+            rng.choice(_WEIGHTED),
+            rng.randrange(2**30),
+            rng.randrange(2**30),
+            rng.randrange(2**30),
+        )
+        for _ in range(OPS_PER_CASE)
+    ]
+
+
+def _apply_ops(
+    function: AggregateFunction, fn_name: str, kind: KernelKind, ops: List[Op]
+) -> Optional[str]:
+    """Run ``ops`` against kernel and oracle; return a mismatch, or None."""
+    kernel = make_kernel(kind, function)
+    oracle: List[Any] = []
+    for step, (op, raw_a, raw_b, raw_value) in enumerate(ops):
+        size = len(oracle)
+        partial = None if raw_value % 10 == 0 else _lift_value(function, fn_name, raw_value)
+        if op == "append":
+            kernel.append(partial)
+            oracle.append(partial)
+        elif op == "update":
+            if size == 0:
+                continue
+            index = raw_a % size
+            kernel.update(index, partial)
+            oracle[index] = partial
+        elif op == "insert":
+            index = raw_a % (size + 1)
+            kernel.insert(index, partial)
+            oracle.insert(index, partial)
+        elif op == "remove":
+            if size == 0:
+                continue
+            index = raw_a % size
+            removed = kernel.remove(index)
+            expected_removed = oracle.pop(index)
+            if not _approx_equal(
+                _lowered(function, removed), _lowered(function, expected_removed)
+            ):
+                return f"step {step}: remove({index}) returned a wrong leaf"
+        elif op == "evict":
+            if size == 0:
+                continue
+            count = raw_a % min(size, 4) + 1
+            kernel.remove_front(count)
+            del oracle[:count]
+        elif op == "merge":
+            # A slice merge as the store performs it: fold the right
+            # neighbour into the left leaf, then drop the right leaf.
+            if size < 2:
+                continue
+            index = raw_a % (size - 1)
+            left, right = oracle[index], oracle[index + 1]
+            if left is None:
+                merged = right
+            elif right is None:
+                merged = left
+            else:
+                merged = function.combine(left, right)
+            kernel.update(index, merged)
+            kernel.remove(index + 1)
+            oracle[index] = merged
+            del oracle[index + 1]
+        elif op == "query":
+            if size == 0:
+                continue
+            a, b = raw_a % (size + 1), raw_b % (size + 1)
+            lo, hi = min(a, b), max(a, b)
+            got = _lowered(function, kernel.query(lo, hi))
+            want = _lowered(function, _oracle_fold(function, oracle, lo, hi))
+            if not _approx_equal(got, want):
+                return f"step {step}: query({lo}, {hi}) = {got!r}, oracle {want!r}"
+        if len(kernel) != len(oracle):
+            return f"step {step}: after {op}, size {len(kernel)} != oracle {len(oracle)}"
+        got_root = _lowered(function, kernel.root())
+        want_root = _lowered(function, _oracle_fold(function, oracle, 0, len(oracle)))
+        if not _approx_equal(got_root, want_root):
+            return f"step {step}: after {op}, root {got_root!r}, oracle {want_root!r}"
+    got_leaves = [_lowered(function, leaf) for leaf in kernel.leaves()]
+    want_leaves = [_lowered(function, leaf) for leaf in oracle]
+    if not _approx_equal(got_leaves, want_leaves):
+        return f"final leaves {got_leaves!r} != oracle {want_leaves!r}"
+    return None
+
+
+def _shrink_ops(
+    function: AggregateFunction, fn_name: str, kind: KernelKind, ops: List[Op]
+) -> List[Op]:
+    """Greedy delta-debugging: drop one op at a time while still failing."""
+    current = list(ops)
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + 1 :]
+            if candidate and _apply_ops(function, fn_name, kind, candidate) is not None:
+                current = candidate
+                changed = True
+            else:
+                index += 1
+    return current
+
+
+# ----------------------------------------------------------------------
+# the property cases
+
+
+@pytest.mark.parametrize("fn_name,kind,seed_index", _cases())
+def test_kernel_matches_list_oracle(fn_name, kind, seed_index):
+    function = default_registry()[fn_name]
+    seed = _child_seed(fn_name, kind.value, seed_index)
+    ops = _generate_ops(random.Random(seed))
+    failure = _apply_ops(function, fn_name, kind, ops)
+    if failure is None:
+        return
+    minimal = _shrink_ops(function, fn_name, kind, ops)
+    final_failure = _apply_ops(function, fn_name, kind, minimal)
+    ops_repr = ", ".join(repr(op) for op in minimal)
+    pytest.fail(
+        f"kernel {kind.value!r} diverges from the list oracle for "
+        f"{fn_name!r} (seed {seed})\n"
+        f"failure: {final_failure}\n"
+        f"minimal op sequence ({len(minimal)} of {len(ops)} ops):\n  [{ops_repr}]"
+    )
+
+
+# ----------------------------------------------------------------------
+# kernel capability and selection edges
+
+
+def test_subtract_kernel_rejects_non_invertible():
+    registry = default_registry()
+    with pytest.raises(ValueError, match="invertible"):
+        make_kernel(KernelKind.SUBTRACT_ON_EVICT, registry["min"])
+
+
+def test_kernel_override_requires_eager():
+    with pytest.raises(ValueError, match="eager"):
+        GeneralSlicingOperator(stream_in_order=True, kernel="two_stacks")
+
+
+def test_unknown_kernel_name_rejected():
+    with pytest.raises(ValueError, match="unknown kernel"):
+        GeneralSlicingOperator(stream_in_order=True, eager=True, kernel="btree")
+
+
+# ----------------------------------------------------------------------
+# checkpoint round-trip: kernel state through RSLC snapshots
+
+
+@pytest.mark.parametrize("kernel", ["flatfat", "two_stacks", "subtract_on_evict"])
+def test_kernel_state_survives_snapshot_restore(kernel):
+    """Snapshot mid-stream, restore, continue both: bit-identical output.
+
+    The restored operator must carry the kernel's internal stacks and
+    prefixes, not just the slice list -- a wrong restore shows up as a
+    diverging window result on the remainder of the stream.
+    """
+
+    def build():
+        operator = GeneralSlicingOperator(stream_in_order=True, eager=True, kernel=kernel)
+        operator.add_query(TumblingWindow(10), Sum())
+        operator.add_query(SlidingWindow(25, 5), Sum())
+        return operator
+
+    stream = [Record(ts, float(ts % 13 - 6)) for ts in range(200)]
+    original = build()
+    results = []
+    for record in stream[:100]:
+        results.extend(original.process(record))
+    clone = restore(snapshot(original))
+    assert type(clone._chains[next(iter(clone._chains))].store.kernels[0]) is type(
+        original._chains[next(iter(original._chains))].store.kernels[0]
+    )
+    tail_original, tail_clone = [], []
+    for record in stream[100:] + [Watermark(10_000)]:
+        tail_original.extend(original.process(record))
+        tail_clone.extend(clone.process(record))
+    assert tail_original == tail_clone
+    assert len(tail_original) > 0

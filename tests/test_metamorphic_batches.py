@@ -1,0 +1,195 @@
+"""Metamorphic batch-split tests: batching must be invisible.
+
+For every technique the three ways of feeding the same element sequence
+must produce bit-identical results, in content *and* order:
+
+* one call per element (:meth:`process`),
+* one batch holding the whole sequence (:meth:`process_batch`),
+* the sequence cut at random points into consecutive batches.
+
+This is the metamorphic relation behind the batched ingestion fast
+path: ``process_batch(a + b)`` == ``process_batch(a)`` followed by
+``process_batch(b)``.  Random split points land inside in-order runs,
+on slice edges, next to watermarks, and around out-of-order records,
+so every bail-out branch of the batch paths is crossed somewhere.
+
+The same relation is checked for each forced aggregation kernel of the
+eager slicing operator (the batch run-fold must commute with two-stacks
+flips and subtract-on-evict prefix maintenance, not just FlatFAT).
+
+Seeds are pinned; override with ``REPRO_FUZZ_SEED``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List
+
+import pytest
+
+from conftest import shuffled_with_disorder
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Average, Sum
+from repro.experiments.harness import INORDER_ONLY_TECHNIQUES, TECHNIQUES
+from repro.windows import SessionWindow, SlidingWindow, TumblingWindow
+
+pytestmark = pytest.mark.fuzz
+
+BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20190326"))
+SEEDS = range(3)
+N_RECORDS = 300
+LATENESS = 10_000
+
+
+def _child_seed(tag: str, index: int) -> int:
+    return random.Random(f"{BASE_SEED}:batch:{tag}:{index}").randrange(2**63)
+
+
+def _inorder_elements(seed: int) -> List[object]:
+    rng = random.Random(seed)
+    ts = 0
+    out: List[object] = []
+    for step in range(N_RECORDS):
+        ts += rng.choice([0, 1, 1, 2, 3]) + (15 if rng.random() < 0.04 else 0)
+        out.append(Record(ts, float(rng.randint(0, 9))))
+    out.append(Watermark(ts + 1_000))
+    return out
+
+
+def _ooo_elements(seed: int) -> List[object]:
+    base = [r for r in _inorder_elements(seed) if isinstance(r, Record)]
+    records = shuffled_with_disorder(base, 0.25, 18, seed=seed + 1)
+    out: List[object] = []
+    high = 0
+    for index, record in enumerate(records):
+        out.append(record)
+        high = max(high, record.ts)
+        if index % 40 == 39:
+            out.append(Watermark(high - 30))
+    out.append(Watermark(high + 1_000))
+    return out
+
+
+def _random_chunks(elements: List[object], rng: random.Random) -> List[List[object]]:
+    """Cut the sequence at 2-6 random interior points (chunks stay in order)."""
+    n = len(elements)
+    cuts = sorted(rng.sample(range(1, n), rng.randint(2, min(6, n - 1))))
+    bounds = [0] + cuts + [n]
+    return [elements[a:b] for a, b in zip(bounds, bounds[1:])]
+
+
+def _run_three_ways(factory, elements: List[object], seed: int) -> None:
+    per_element = factory()
+    expected: List[object] = []
+    for element in elements:
+        expected.extend(per_element.process(element))
+
+    whole = factory().process_batch(elements)
+    assert whole == expected, "one whole batch diverged from per-element"
+
+    rng = random.Random(seed)
+    split = factory()
+    got: List[object] = []
+    for chunk in _random_chunks(elements, rng):
+        got.extend(split.process_batch(chunk))
+    assert got == expected, "randomly split batches diverged from per-element"
+
+
+def _add_queries(operator, *, sessions: bool) -> None:
+    operator.add_query(TumblingWindow(50), Sum())
+    operator.add_query(SlidingWindow(80, 20), Average())
+    if sessions:
+        operator.add_query(SessionWindow(7), Sum())
+
+
+INORDER_MATRIX = [
+    (tech, seed_index) for tech in TECHNIQUES for seed_index in SEEDS
+]
+OOO_MATRIX = [
+    (tech, seed_index)
+    for tech in TECHNIQUES
+    if tech not in INORDER_ONLY_TECHNIQUES
+    for seed_index in SEEDS
+]
+
+
+@pytest.mark.parametrize(
+    "tech, seed_index", INORDER_MATRIX, ids=[f"{t}-s{s}" for t, s in INORDER_MATRIX]
+)
+def test_batch_split_invariance_inorder(tech, seed_index):
+    seed = _child_seed(f"in:{tech}", seed_index)
+
+    def factory():
+        operator = TECHNIQUES[tech](stream_in_order=True, allowed_lateness=0)
+        _add_queries(operator, sessions=tech not in INORDER_ONLY_TECHNIQUES)
+        return operator
+
+    _run_three_ways(factory, _inorder_elements(seed), seed)
+
+
+@pytest.mark.parametrize(
+    "tech, seed_index", OOO_MATRIX, ids=[f"{t}-s{s}" for t, s in OOO_MATRIX]
+)
+def test_batch_split_invariance_out_of_order(tech, seed_index):
+    seed = _child_seed(f"ooo:{tech}", seed_index)
+
+    def factory():
+        operator = TECHNIQUES[tech](stream_in_order=False, allowed_lateness=LATENESS)
+        _add_queries(operator, sessions=True)
+        return operator
+
+    _run_three_ways(factory, _ooo_elements(seed), seed)
+
+
+KERNELS = ["flatfat", "two_stacks", "subtract_on_evict"]
+
+
+@pytest.mark.parametrize(
+    "kernel, seed_index",
+    [(k, s) for k in KERNELS for s in SEEDS],
+    ids=[f"{k}-s{s}" for k in KERNELS for s in SEEDS],
+)
+def test_batch_split_invariance_per_kernel(kernel, seed_index):
+    """The batch run-fold path must commute with every kernel's internal
+    bookkeeping, not just FlatFAT's."""
+    seed = _child_seed(f"kernel:{kernel}", seed_index)
+
+    def factory():
+        operator = GeneralSlicingOperator(
+            stream_in_order=True, eager=True, kernel=kernel
+        )
+        # Sum + Average keep the subtract-on-evict kernel legal.
+        operator.add_query(TumblingWindow(50), Sum())
+        operator.add_query(SlidingWindow(80, 20), Average())
+        return operator
+
+    _run_three_ways(factory, _inorder_elements(seed), seed)
+
+
+@pytest.mark.parametrize("seed_index", SEEDS)
+def test_batch_split_invariance_shared_vs_unshared(seed_index):
+    """Window sharing is a pure cache: turning it off must not change
+    results, batched or not."""
+    seed = _child_seed("share", seed_index)
+    elements = _inorder_elements(seed)
+
+    def build(share):
+        operator = GeneralSlicingOperator(
+            stream_in_order=True, share_windows=share
+        )
+        operator.add_query(SlidingWindow(100, 20), Sum())
+        operator.add_query(SlidingWindow(60, 20), Sum())
+        return operator
+
+    for share in (True, False):
+        _run_three_ways(lambda share=share: build(share), elements, seed)
+
+    # Direct cross-check: shared and unshared runs agree element-wise.
+    a, b = build(True), build(False)
+    out_a: List[object] = []
+    out_b: List[object] = []
+    for element in elements:
+        out_a.extend(a.process(element))
+        out_b.extend(b.process(element))
+    assert out_a == out_b

@@ -29,6 +29,8 @@ from repro.windows import (
     TumblingWindow,
 )
 
+pytestmark = pytest.mark.slow
+
 #: All soak workloads derive their RNG streams from this seed so a
 #: failing run is reproducible from the reported environment alone.
 #: Override with ``REPRO_SOAK_SEED`` to explore other schedules.

@@ -118,14 +118,18 @@ class TestHandComputedCounters:
         assert tracer.value("store.slices_evicted") == 2
 
     def test_eager_adds_flatfat_counters(self):
-        """Same stream, eager store: the FlatFAT tree traces its work.
+        """Same stream, eager store forced to FlatFAT: the tree traces.
 
+        (Forced because auto-selection gives the invertible in-order Sum
+        a subtract-on-evict kernel; see the kernel counter tests below.)
         The tree doubles capacity as slices 1..3 arrive (3 rebuilds) and
         answers one query per emitted window.  Node updates cover both
         rebuild sweeps and per-record leaf-to-root paths; the exact
         total (30 here) is pinned so accidental extra tree work shows up.
         """
-        operator = GeneralSlicingOperator(stream_in_order=True, eager=True)
+        operator = GeneralSlicingOperator(
+            stream_in_order=True, eager=True, kernel="flatfat"
+        )
         operator.add_query(TumblingWindow(10), Sum())
         tracer = operator.enable_tracing()
         final = final_values(operator, _tumbling_stream() + [Watermark(100)])
@@ -133,6 +137,70 @@ class TestHandComputedCounters:
         assert tracer.value("flatfat.rebuilds") == 3
         assert tracer.value("flatfat.queries") == 3
         assert tracer.value("flatfat.node_updates") == 30
+
+    def test_eager_kernel_counters(self):
+        """Eager store: slice traffic reaches the kernels, whatever they
+        are.  3 slices open (3 appends); the final watermark evicts the
+        2 closed slices; the auto-selected subtract-on-evict kernel
+        answers the 3 window queries."""
+        operator = GeneralSlicingOperator(stream_in_order=True, eager=True)
+        operator.add_query(TumblingWindow(10), Sum())
+        tracer = operator.enable_tracing()
+        final = final_values(operator, _tumbling_stream() + [Watermark(100)])
+        assert final == {(0, 0, 10): 10.0, (0, 10, 20): 10.0, (0, 20, 30): 5.0}
+        assert tracer.value("kernel.appends") == 3
+        assert tracer.value("kernel.evictions") == 2
+        assert tracer.value("subtract_on_evict.queries") == 3
+        assert tracer.value("flatfat.rebuilds") == 0  # no tree in play
+
+    def test_shared_window_counters(self):
+        """Two wide sliding windows ending on every edge share a suffix.
+
+        Windows of 100 and 200 with slide 10 trigger together at each
+        edge and span 10/20 slices; the pair ending at the same slice
+        index differs only in ``lo``, so the wider one extends the
+        shorter one's partial (one ``share.hit`` per trigger batch above
+        the ``share_min_savings`` crossover).
+        """
+        from repro.windows import SlidingWindow
+
+        stream = [Record(ts, 1.0) for ts in range(0, 400, 2)]
+
+        def build(**kwargs):
+            operator = GeneralSlicingOperator(stream_in_order=True, **kwargs)
+            operator.add_query(SlidingWindow(100, 10), Sum())
+            operator.add_query(SlidingWindow(200, 10), Sum())
+            return operator
+
+        operator = build()
+        tracer = operator.enable_tracing()
+        for element in stream + [Watermark(1_000)]:
+            operator.process(element)
+        assert tracer.value("share.requests") > 0
+        assert tracer.value("share.hits") >= 2
+        # Sharing off: same stream, no share counters at all.
+        plain = build(share_windows=False)
+        plain_tracer = plain.enable_tracing()
+        for element in stream + [Watermark(1_000)]:
+            plain.process(element)
+        assert plain_tracer.value("share.requests") == 0
+        assert plain_tracer.value("share.hits") == 0
+
+    def test_share_plan_skipped_below_savings_threshold(self):
+        """Short slice ranges resolve directly: the plan's grouping
+        would cost more than the combines it saves, so the share
+        counters never fire even with sharing enabled."""
+        from repro.windows import SlidingWindow
+
+        operator = GeneralSlicingOperator(stream_in_order=True)
+        operator.add_query(SlidingWindow(10, 10), Sum())
+        operator.add_query(SlidingWindow(20, 10), Sum())
+        tracer = operator.enable_tracing()
+        for ts in range(0, 100, 2):
+            operator.process(Record(ts, 1.0))
+        operator.process(Watermark(1_000))
+        assert tracer.value("share.requests") == 0
+        assert tracer.value("share.hits") == 0
 
     def test_out_of_order_record_counters(self):
         """ts=5 arrives after ts=20: one out-of-order insert, no split
