@@ -397,3 +397,61 @@ def _tracing_on(size: int) -> Dict[str, object]:
     run = _run(operator, _inorder_records(size))
     run["counters"] = dict(tracer.counters)
     return run
+
+
+# ----------------------------------------------------------------------
+# sharded multi-process execution (paper Section 5.3 / Figure 17):
+# scaling the keyed dashboard workload over 1..8 worker shards.  shard/1
+# exposes the IPC + merge overhead against keyed/lazy; higher counts
+# show the key-parallel speedup ceiling for this record size.
+
+
+def _shard_factory():
+    """Module-level per-shard factory (pickled into worker processes)."""
+    return _dashboard_operator("Lazy Slicing")
+
+
+@lru_cache(maxsize=8)
+def _sharded_elements(size: int) -> Tuple[StreamElement, ...]:
+    # Keyed records with a watermark each event-time second: watermarks
+    # are the merge alignment points, so the cadence matters for the
+    # coordinator's epoch-release cost.
+    elements: List[StreamElement] = []
+    next_mark = SECOND_MS
+    for record in _keyed_records(size):
+        if record.ts >= next_mark:
+            elements.append(Watermark(next_mark - 1))
+            next_mark += SECOND_MS
+        elements.append(record)
+    return tuple(elements)
+
+
+def _register_sharded() -> None:
+    for parallelism in (1, 2, 4, 8):
+
+        @scenario(
+            f"shard/{parallelism}",
+            tags=("shard", "parallel"),
+            full_size=40_000,
+            smoke_size=2_000,
+        )
+        def _run_sharded(size: int, _parallelism: int = parallelism) -> Dict[str, object]:
+            from ..runtime.sharded import ShardedPipeline
+
+            elements = _sharded_elements(size)
+            pipeline = ShardedPipeline(
+                _shard_factory, _parallelism, batch_size=256, queue_capacity=16
+            )
+            started = time.perf_counter()
+            results = pipeline.run(list(elements))
+            elapsed = time.perf_counter() - started
+            records = sum(1 for e in elements if isinstance(e, Record))
+            return {
+                "records": records,
+                "seconds": elapsed,
+                "results_emitted": len(results),
+                "counters": dict(pipeline.tracer.counters),
+            }
+
+
+_register_sharded()

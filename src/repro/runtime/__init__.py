@@ -59,6 +59,7 @@ from .recovery import (
     RestartPolicy,
     SupervisedPipeline,
 )
+from .sharded import ShardedPipeline, alignment_key, run_keyed_reference
 from .sources import (
     GeneratorSource,
     ListSource,
@@ -87,6 +88,9 @@ __all__ = [
     "run_parallel",
     "ParallelResult",
     "KeyedWindowOperator",
+    "ShardedPipeline",
+    "alignment_key",
+    "run_keyed_reference",
     "snapshot",
     "restore",
     "CheckpointingOperator",

@@ -232,6 +232,12 @@ class CheckpointingOperator(WindowOperator):
             self.checkpoint()
         return results
 
+    def flush(self):
+        # The wrapper holds no stream position of its own; flushing is
+        # the inner operator's business (and takes no snapshot: flush
+        # emits results, it does not ingest records).
+        return self.inner.flush()
+
     def _on_tracing_changed(self) -> None:
         # The wrapper and the wrapped operator share one counter sink.
         if self._tracer is None:

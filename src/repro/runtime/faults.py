@@ -221,6 +221,11 @@ class FaultInjectingOperator(WindowOperator):
     def process_punctuation(self, punctuation):
         return self.inner.process_punctuation(punctuation)
 
+    def flush(self):
+        # Faults target record positions; end-of-stream flush passes
+        # straight through to the wrapped operator.
+        return self.inner.flush()
+
     def process_batch(self, elements: Sequence[StreamElement]):
         lo = self.records_processed
         hi = lo + sum(1 for e in elements if isinstance(e, Record))

@@ -13,10 +13,10 @@ process-parallel executor unchanged.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List
+from typing import Any, Callable, Dict, List, Sequence
 
 from ..core.operator_base import WindowOperator
-from ..core.types import Punctuation, Record, Watermark, WindowResult
+from ..core.types import Punctuation, Record, StreamElement, Watermark, WindowResult
 
 __all__ = ["KeyedWindowOperator"]
 
@@ -76,6 +76,47 @@ class KeyedWindowOperator(WindowOperator):
         results: List[WindowResult] = []
         for key, operator in self._by_key.items():
             results.extend(self._tag(operator.process_punctuation(punctuation), key))
+        return results
+
+    def process_batch(self, elements: Sequence[StreamElement]) -> List[WindowResult]:
+        """Batched ingestion that keeps the per-key fast path.
+
+        Consecutive records with the same key are handed to that key's
+        operator as one sub-batch, so its own :meth:`process_batch`
+        (the run-based fast path) amortizes slice-edge lookups.  Runs
+        never span watermarks, punctuations, or a key change, so the
+        per-key element order -- and therefore every emission -- is
+        identical to the tuple-at-a-time path.
+        """
+        results: List[WindowResult] = []
+        n = len(elements)
+        i = 0
+        while i < n:
+            element = elements[i]
+            if not isinstance(element, Record):
+                results.extend(self.process(element))
+                i += 1
+                continue
+            key = element.key
+            j = i + 1
+            while j < n:
+                nxt = elements[j]
+                if not isinstance(nxt, Record) or nxt.key != key:
+                    break
+                j += 1
+            operator = self.operator_for(key)
+            if j - i == 1:
+                results.extend(self._tag(operator.process_record(element), key))
+            else:
+                results.extend(self._tag(operator.process_batch(elements[i:j]), key))
+            i = j
+        return results
+
+    def flush(self) -> List[WindowResult]:
+        """Flush every key's operator, tagging results as usual."""
+        results: List[WindowResult] = []
+        for key, operator in self._by_key.items():
+            results.extend(self._tag(operator.flush(), key))
         return results
 
     # ------------------------------------------------------------------

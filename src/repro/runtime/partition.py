@@ -54,12 +54,24 @@ def _canonical_bytes(key: Any) -> bytes:
         return b"b:" + key
     if isinstance(key, float):
         return b"f:" + repr(key).encode("ascii")
-    if isinstance(key, (tuple, list, frozenset)):
-        tag = {tuple: b"t", list: b"l", frozenset: b"F"}[type(key)]
+    if isinstance(key, (tuple, list)):
+        # isinstance, not type lookup: namedtuples must encode as tuples.
+        tag = b"t" if isinstance(key, tuple) else b"l"
         parts = [_canonical_bytes(item) for item in key]
-        if isinstance(key, frozenset):
-            parts.sort()
         return tag + b":%d:" % len(parts) + b"\x00".join(parts)
+    if isinstance(key, (set, frozenset)):
+        # One tag for both: {1, 2} == frozenset({1, 2}), and a plain set
+        # must never reach the repr fallback -- set iteration order
+        # depends on PYTHONHASHSEED, so repr would route the same key to
+        # different shards in different processes.
+        parts = sorted(_canonical_bytes(item) for item in key)
+        return b"F:%d:" % len(parts) + b"\x00".join(parts)
+    if isinstance(key, dict):
+        parts = sorted(
+            _canonical_bytes(k) + b"\x01" + _canonical_bytes(v)
+            for k, v in key.items()
+        )
+        return b"d:%d:" % len(parts) + b"\x00".join(parts)
     return b"r:" + type(key).__qualname__.encode("utf-8") + b":" + repr(key).encode("utf-8")
 
 
@@ -141,7 +153,11 @@ class ParallelResult:
 
     @property
     def records_per_second(self) -> float:
-        return self.records / self.wall_seconds if self.wall_seconds > 0 else float("inf")
+        # Degenerate runs report 0.0, matching ThroughputResult's guard;
+        # float("inf") used to leak into comparisons and JSON output.
+        if self.records <= 0 or self.wall_seconds <= 0:
+            return 0.0
+        return self.records / self.wall_seconds
 
     @property
     def cpu_utilization(self) -> float:
@@ -168,6 +184,10 @@ def _worker(payload: Tuple[bytes, List[StreamElement]]) -> Tuple[int, float]:
     emitted = 0
     for element in stream:
         emitted += len(operator.process(element))
+    # Drain windows still buffered at end-of-stream: without the flush,
+    # tail windows never reached results_emitted and the count under-
+    # reported relative to the single-process run.
+    emitted += len(operator.flush())
     return emitted, time.process_time() - cpu_before
 
 

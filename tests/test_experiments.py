@@ -59,6 +59,29 @@ class TestHarness:
         assert bench_scale() == 1.0
 
 
+class TestRateConsistency:
+    """Both harness result types must agree on the degenerate cases:
+    a zero wall-clock (or empty) run reports a rate of 0.0, never inf.
+    ``ParallelResult`` used to divide unguarded and leak inf into JSON
+    reports and comparisons."""
+
+    def test_zero_wall_time_rate_matches_throughput_harness(self):
+        from repro.runtime.metrics import ThroughputResult
+        from repro.runtime.partition import ParallelResult
+
+        throughput = ThroughputResult(records=100, seconds=0.0, results_emitted=0)
+        parallel = ParallelResult(100, 0.0, 0.0, 0, 1)
+        assert throughput.records_per_second == 0.0
+        assert parallel.records_per_second == throughput.records_per_second
+
+    def test_empty_run_rate_is_zero_in_both(self):
+        from repro.runtime.metrics import ThroughputResult
+        from repro.runtime.partition import ParallelResult
+
+        assert ThroughputResult(records=0, seconds=1.0, results_emitted=0).records_per_second == 0.0
+        assert ParallelResult(0, 1.0, 0.0, 0, 1).records_per_second == 0.0
+
+
 class TestResultTable:
     def test_add_and_column(self):
         table = ResultTable("t", ["a", "b"])

@@ -1,0 +1,106 @@
+"""End-of-stream flush: emit windows still buffered when the stream ends.
+
+``WindowOperator.flush()`` advances event time past the last record by
+the largest window extent plus the allowed lateness -- exactly what a
+final upstream watermark would do -- so tail windows are emitted instead
+of silently dropped.  These tests pin the semantics: equivalence to a
+trailing watermark, idempotence, wrapper delegation, and key tagging.
+"""
+
+import pytest
+
+from conftest import run_operator
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Sum
+from repro.baselines import AggregateBucketsOperator, TupleBufferOperator
+from repro.runtime.checkpoint import CheckpointingOperator
+from repro.runtime.faults import FaultInjectingOperator
+from repro.runtime.keyed import KeyedWindowOperator
+from repro.windows import SessionWindow, SlidingWindow, TumblingWindow
+
+
+def _operators(in_order: bool):
+    lateness = 0 if in_order else 1_000_000
+    return [
+        ("lazy", lambda: GeneralSlicingOperator(stream_in_order=in_order, allowed_lateness=lateness)),
+        ("eager", lambda: GeneralSlicingOperator(stream_in_order=in_order, eager=True, allowed_lateness=lateness)),
+        ("buffer", lambda: TupleBufferOperator(stream_in_order=in_order, allowed_lateness=lateness)),
+        ("agg-buckets", lambda: AggregateBucketsOperator(stream_in_order=in_order, allowed_lateness=lateness)),
+    ]
+
+
+@pytest.mark.parametrize("in_order", [True, False])
+def test_flush_emits_tail_windows_across_techniques(in_order):
+    # Records stop at ts=14: window [10, 20) has no in-stream reason to
+    # close and only materializes on flush.
+    stream = [Record(ts, 1.0) for ts in range(15)]
+    for name, make_operator in _operators(in_order):
+        operator = make_operator()
+        operator.add_query(TumblingWindow(10), Sum())
+        in_stream = run_operator(operator, stream)
+        tail = operator.flush()
+        results = {(r.start, r.end): r.value for r in in_stream + tail}
+        assert results == {(0, 10): 10.0, (10, 20): 5.0}, f"technique {name}"
+        assert any(r.end == 20 for r in tail), f"technique {name} tail not flushed"
+
+
+def test_flush_matches_trailing_watermark():
+    def run(finish):
+        operator = GeneralSlicingOperator(stream_in_order=False, allowed_lateness=5)
+        operator.add_query(SlidingWindow(20, 5), Sum())
+        operator.add_query(SessionWindow(7), Sum())
+        results = run_operator(operator, [Record(ts, float(ts % 3)) for ts in range(0, 33, 2)])
+        results.extend(finish(operator))
+        return [(r.query_id, r.start, r.end, r.value) for r in results]
+
+    flushed = run(lambda operator: operator.flush())
+    # length 20 dominates the extent; +lateness 5 +1 +1 mirrors flush's
+    # horizon so both runs close the exact same set of windows.
+    watermarked = run(lambda operator: operator.process_watermark(Watermark(32 + 20 + 5 + 2)))
+    assert flushed == watermarked
+
+
+def test_flush_is_idempotent_and_empty_before_any_record():
+    operator = GeneralSlicingOperator(stream_in_order=True)
+    operator.add_query(TumblingWindow(10), Sum())
+    assert operator.flush() == []  # nothing ingested, nothing to close
+    run_operator(operator, [Record(ts, 1.0) for ts in range(12)])
+    assert len(operator.flush()) == 1
+    assert operator.flush() == []  # a second flush has nothing left
+
+
+def test_session_gap_drives_the_flush_horizon():
+    operator = GeneralSlicingOperator(stream_in_order=True)
+    operator.add_query(SessionWindow(50), Sum())
+    run_operator(operator, [Record(0, 1.0), Record(10, 2.0)])
+    tail = operator.flush()
+    assert [(r.start, r.end, r.value) for r in tail] == [(0, 60, 3.0)]
+
+
+def test_keyed_flush_tags_results_with_their_key():
+    keyed = KeyedWindowOperator(
+        lambda: _with_query(GeneralSlicingOperator(stream_in_order=True))
+    )
+    run_operator(keyed, [Record(ts, 1.0, key=f"k{ts % 2}") for ts in range(12)])
+    tail = keyed.flush()
+    assert tail, "keyed flush dropped tail windows"
+    assert {r.key for r in tail} == {"k0", "k1"}
+
+
+def _with_query(operator):
+    operator.add_query(TumblingWindow(10), Sum())
+    return operator
+
+
+def test_wrappers_delegate_flush_to_inner():
+    checkpointing = CheckpointingOperator(
+        _with_query(GeneralSlicingOperator(stream_in_order=True)), every=1000
+    )
+    run_operator(checkpointing, [Record(ts, 1.0) for ts in range(12)])
+    assert [r.end for r in checkpointing.flush()] == [20]
+
+    faulty = FaultInjectingOperator(
+        _with_query(GeneralSlicingOperator(stream_in_order=True))
+    )
+    run_operator(faulty, [Record(ts, 1.0) for ts in range(12)])
+    assert [r.end for r in faulty.flush()] == [20]

@@ -11,9 +11,19 @@ behaviour, including across ``PYTHONHASHSEED`` values in subprocesses.
 import subprocess
 import sys
 
+import pytest
+
 from conftest import subprocess_env
+from repro.aggregations import Sum
+from repro.core.operator_ import GeneralSlicingOperator
 from repro.core.types import Record, Watermark
-from repro.runtime.partition import hash_partition, stable_hash
+from repro.runtime.partition import (
+    ParallelResult,
+    hash_partition,
+    run_parallel,
+    stable_hash,
+)
+from repro.windows import TumblingWindow
 
 
 class TestStableHash:
@@ -33,6 +43,29 @@ class TestStableHash:
     def test_container_keys(self):
         assert stable_hash(("user", 42)) != stable_hash(("user", 43))
         assert stable_hash(frozenset({1, 2})) == stable_hash(frozenset({2, 1}))
+
+    def test_set_keys_encode_like_frozenset(self):
+        # A plain set used to fall through to the repr fallback, whose
+        # element order depends on PYTHONHASHSEED -- the same key routed
+        # to different shards in different processes.  Sets and
+        # frozensets compare equal in Python, so they must hash equal.
+        assert stable_hash({1, 2}) == stable_hash({2, 1})
+        assert stable_hash({1, 2}) == stable_hash(frozenset({1, 2}))
+        assert stable_hash({"a", "b"}) == stable_hash({"b", "a"})
+        assert stable_hash({1, 2}) != stable_hash({1, 3})
+
+    def test_dict_keys_encode_by_sorted_items(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+        assert stable_hash({}) != stable_hash(set())
+
+    def test_namedtuple_keys_encode_as_tuples(self):
+        import collections
+
+        Point = collections.namedtuple("Point", "x y")
+        # isinstance-based tagging: the old type-keyed lookup raised
+        # KeyError for tuple subclasses.
+        assert stable_hash(Point(1, 2)) == stable_hash((1, 2))
 
     def test_fallback_for_unregistered_types(self):
         import enum
@@ -89,3 +122,83 @@ def test_watermarks_still_broadcast():
     elements = [Record(0, 1.0, key="a"), Watermark(5), Record(6, 1.0, key="b")]
     for partition in hash_partition(elements, 3):
         assert any(isinstance(e, Watermark) for e in partition)
+
+
+def _set_key_digest(seed: str) -> str:
+    """Partition routing digest for set/dict keys under one hash seed."""
+    code = (
+        "from repro.core.types import Record\n"
+        "from repro.runtime.partition import hash_partition\n"
+        "elements = ["
+        "Record(i, 1.0, key={f'tag-{i % 11}', f'tag-{(i * 7) % 13}', i % 5})"
+        " for i in range(300)]\n"
+        "elements += ["
+        "Record(300 + i, 1.0, key={'region': f'r{i % 7}', 'tier': i % 3})"
+        " for i in range(200)]\n"
+        "partitions = hash_partition(elements, 5)\n"
+        "print(';'.join(','.join(str(e.ts) for e in p) for p in partitions))\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        env=subprocess_env(PYTHONHASHSEED=seed),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+def test_set_and_dict_key_routing_identical_across_hash_seeds():
+    """The satellite bug: set keys routed via the repr fallback, whose
+    iteration order is salted -- routing differed between processes."""
+    digests = {_set_key_digest(seed) for seed in ("0", "1", "424242")}
+    assert len(digests) == 1, "set/dict key routing depends on PYTHONHASHSEED"
+
+
+# ----------------------------------------------------------------------
+# run_parallel result semantics
+
+
+class TestParallelResult:
+    def test_zero_wall_time_reports_zero_rate(self):
+        # Used to return float("inf"), inconsistent with the throughput
+        # harness's 0.0 guard; inf leaked into JSON and comparisons.
+        assert ParallelResult(100, 0.0, 0.0, 0, 1).records_per_second == 0.0
+        assert ParallelResult(0, 0.0, 0.0, 0, 1).records_per_second == 0.0
+        assert ParallelResult(0, 1.0, 0.0, 0, 1).records_per_second == 0.0
+
+    def test_positive_rate_unchanged(self):
+        assert ParallelResult(100, 0.5, 0.0, 0, 1).records_per_second == 200.0
+
+
+def _tail_window_operator():
+    """Module-level factory (run_parallel pickles it into workers)."""
+    operator = GeneralSlicingOperator(stream_in_order=True)
+    operator.add_query(TumblingWindow(10), Sum())
+    return operator
+
+
+@pytest.mark.parametrize("parallelism", [1, 2])
+def test_run_parallel_flushes_tail_windows(parallelism):
+    """The last window only materializes on flush: records stop at
+    ts=14, so window [10, 20) closes for no in-stream reason.  Workers
+    used to drop it from results_emitted."""
+    elements = [Record(ts, 1.0, key=f"k{ts % 4}") for ts in range(15)]
+    expected = 0
+    unflushed = 0
+    for partition in hash_partition(elements, parallelism):
+        operator = _tail_window_operator()
+        in_stream = len(operator.run(partition))
+        tail = operator.flush()
+        if any(isinstance(element, Record) for element in partition):
+            assert any(result.end == 20 for result in tail), "tail window missing"
+        else:
+            assert tail == []  # empty partitions flush to nothing
+        unflushed += in_stream
+        expected += in_stream + len(tail)
+    result = run_parallel(_tail_window_operator, elements, parallelism)
+    assert result.results_emitted == expected
+    # The tail windows are genuinely part of the count: a no-flush run
+    # emits strictly fewer results.
+    assert result.results_emitted > unflushed
