@@ -426,6 +426,79 @@ def _sharded_elements(size: int) -> Tuple[StreamElement, ...]:
     return tuple(elements)
 
 
+# ----------------------------------------------------------------------
+# durable checkpoint stores: the disabled path (default in-memory store,
+# single generation, no DLQ -- the pre-durability supervised pipeline)
+# against multi-generation memory, disk-backed frames, and an attached
+# dead-letter queue on a poison-free stream.  durability/off is the
+# <3 %-overhead guard: store and DLQ machinery must cost nothing when
+# not asked for.
+
+
+def _supervised_run(
+    size: int, *, store_factory=None, dlq_factory=None
+) -> Dict[str, object]:
+    from ..runtime.durability import DeadLetterQueue  # noqa: F401 - registry import
+    from ..runtime.pipeline import CollectSink
+    from ..runtime.recovery import SupervisedPipeline
+
+    operator = _dashboard_operator("Lazy Slicing")
+    sink = CollectSink()
+    pipeline = SupervisedPipeline(
+        operator,
+        sink,
+        checkpoint_every=max(500, size // 8),
+        batch_size=256,
+        store=store_factory() if store_factory is not None else None,
+        dlq=dlq_factory() if dlq_factory is not None else None,
+    )
+    elements = list(_inorder_records(size))
+    started = time.perf_counter()
+    stats = pipeline.run(elements)
+    elapsed = time.perf_counter() - started
+    return {
+        "records": len(elements),
+        "seconds": elapsed,
+        "results_emitted": stats.results_emitted,
+        "metrics": {"checkpoints_taken": float(stats.checkpoints_taken)},
+    }
+
+
+@scenario("durability/off", tags=("durability",), full_size=40_000, smoke_size=2_500)
+def _durability_off(size: int) -> Dict[str, object]:
+    return _supervised_run(size)
+
+
+@scenario("durability/memory", tags=("durability",), full_size=40_000, smoke_size=2_500)
+def _durability_memory(size: int) -> Dict[str, object]:
+    from ..runtime.durability import InMemoryStore
+
+    return _supervised_run(size, store_factory=lambda: InMemoryStore(keep=3))
+
+
+@scenario("durability/disk", tags=("durability",), full_size=40_000, smoke_size=2_500)
+def _durability_disk(size: int) -> Dict[str, object]:
+    import shutil
+    import tempfile
+
+    from ..runtime.durability import DiskCheckpointStore
+
+    tmpdir = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
+    try:
+        return _supervised_run(
+            size, store_factory=lambda: DiskCheckpointStore(tmpdir, keep=3)
+        )
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+
+@scenario("durability/dlq", tags=("durability",), full_size=40_000, smoke_size=2_500)
+def _durability_dlq(size: int) -> Dict[str, object]:
+    from ..runtime.durability import DeadLetterQueue
+
+    return _supervised_run(size, dlq_factory=lambda: DeadLetterQueue(max_retries=2))
+
+
 def _register_sharded() -> None:
     for parallelism in (1, 2, 4, 8):
 

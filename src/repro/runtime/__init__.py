@@ -21,14 +21,28 @@ from .checkpoint import (
     snapshot,
 )
 from .disorder import disorder_fraction, inject_disorder, with_watermarks
+from .durability import (
+    STORE_FORMAT_VERSION,
+    STORE_MAGIC,
+    CheckpointCorruptError,
+    CheckpointStore,
+    DeadLetterOverflow,
+    DeadLetterQueue,
+    DiskCheckpointStore,
+    InMemoryStore,
+    PoisonRecord,
+    StoredCheckpoint,
+)
 from .faults import (
     FaultInjectingOperator,
     FaultPlan,
     FaultySource,
+    FaultyStore,
     InjectedCrash,
     InjectedFault,
     InjectedOperatorError,
     SourceHiccup,
+    TransientStoreError,
     stall_watermarks,
 )
 from .memory import TABLE1_ROWS, deep_sizeof, memory_model
@@ -99,6 +113,16 @@ __all__ = [
     "SnapshotError",
     "CHECKPOINT_MAGIC",
     "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointStore",
+    "InMemoryStore",
+    "DiskCheckpointStore",
+    "StoredCheckpoint",
+    "CheckpointCorruptError",
+    "STORE_MAGIC",
+    "STORE_FORMAT_VERSION",
+    "DeadLetterQueue",
+    "DeadLetterOverflow",
+    "PoisonRecord",
     "FaultPlan",
     "FaultInjectingOperator",
     "FaultySource",
@@ -106,6 +130,8 @@ __all__ = [
     "InjectedCrash",
     "InjectedOperatorError",
     "SourceHiccup",
+    "FaultyStore",
+    "TransientStoreError",
     "stall_watermarks",
     "SupervisedPipeline",
     "RestartPolicy",

@@ -138,7 +138,11 @@ def restore(blob: bytes, *, tracer: Optional[Tracer] = None) -> WindowOperator:
     except Exception as exc:
         raise CheckpointFormatError(f"corrupt checkpoint payload: {exc}") from exc
     if not isinstance(operator, WindowOperator):
-        raise TypeError(f"snapshot does not contain a WindowOperator: {type(operator)!r}")
+        # Still a format violation, not a caller type error: a mutated
+        # payload can unpickle cleanly into the wrong object.
+        raise CheckpointFormatError(
+            f"snapshot does not contain a WindowOperator: {type(operator)!r}"
+        )
     if tracer is not None:
         tracer.count("checkpoint.restores")
         tracer.count("checkpoint.bytes_restored", len(blob))

@@ -35,9 +35,11 @@ __all__ = [
     "InjectedCrash",
     "InjectedOperatorError",
     "SourceHiccup",
+    "TransientStoreError",
     "FaultPlan",
     "FaultInjectingOperator",
     "FaultySource",
+    "FaultyStore",
     "stall_watermarks",
 ]
 
@@ -61,6 +63,20 @@ class InjectedOperatorError(InjectedFault):
 
 class SourceHiccup(InjectedFault):
     """Transient source failure; the same read succeeds when retried."""
+
+
+class TransientStoreError(OSError):
+    """Injected transient I/O failure of a checkpoint store operation.
+
+    Subclasses :class:`OSError` so store users exercise the same retry
+    path a real flaky disk or network filesystem would trigger; the
+    retried operation succeeds (fire-once, like every injected fault).
+    """
+
+    def __init__(self, message: str, operation: int) -> None:
+        super().__init__(message)
+        #: 0-based index of the store operation the fault fired at.
+        self.operation = operation
 
 
 def _sample_positions(rng: random.Random, horizon: int, count: int) -> tuple:
@@ -293,6 +309,118 @@ class FaultySource(ReplayableSource):
                         f"injected source hiccup at cursor {position}", position
                     )
         return super().read(cursor, count)
+
+
+class FaultyStore:
+    """Checkpoint-store wrapper injecting storage faults deterministically.
+
+    Wraps any :class:`~repro.runtime.durability.CheckpointStore` and
+    damages it on schedule, by 0-based *save index* (the N-th ``save``
+    call) or *load index* (the N-th ``load_latest`` call):
+
+    * ``torn_write_at`` -- the save completes but the stored frame is
+      truncated at a seeded point, as if the process died mid-write
+      after the rename was already queued (or the kernel lost the tail
+      of the page cache).  Detected by CRC/length checks on load.
+    * ``bit_flip_at`` -- one seeded bit of the stored frame flips after
+      a successful save (disk rot).  Detected by the CRC on load.
+    * ``io_error_saves`` / ``io_error_loads`` -- the operation raises
+      :class:`TransientStoreError` once; the retry succeeds.
+
+    Corruption goes through the store's own ``corrupt()`` hook, so the
+    same schedule exercises :class:`InMemoryStore` and
+    :class:`DiskCheckpointStore` identically.  Everything is seeded:
+    equal seeds damage equal byte positions.
+    """
+
+    def __init__(
+        self,
+        inner,
+        *,
+        torn_write_at: Iterable[int] = (),
+        bit_flip_at: Iterable[int] = (),
+        io_error_saves: Iterable[int] = (),
+        io_error_loads: Iterable[int] = (),
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        self._torn_write_at = set(torn_write_at)
+        self._bit_flip_at = set(bit_flip_at)
+        self._io_error_saves = set(io_error_saves)
+        self._io_error_loads = set(io_error_loads)
+        self._rng = random.Random(seed)
+        self._saves = 0
+        self._loads = 0
+        self.faults_fired = 0
+
+    @property
+    def tracer(self):
+        return self.inner.tracer
+
+    @tracer.setter
+    def tracer(self, value) -> None:
+        self.inner.tracer = value
+
+    def save(self, blob, *, cursor, records_processed, meta=None) -> int:
+        index = self._saves
+        self._saves += 1
+        if index in self._io_error_saves:
+            self._io_error_saves.discard(index)
+            self.faults_fired += 1
+            raise TransientStoreError(
+                f"injected transient store error on save #{index}", index
+            )
+        generation = self.inner.save(
+            blob, cursor=cursor, records_processed=records_processed, meta=meta
+        )
+        size = self.inner.frame_size(generation)
+        if index in self._torn_write_at:
+            self._torn_write_at.discard(index)
+            self.faults_fired += 1
+            # Tear somewhere inside the frame: always short enough to
+            # lose payload bytes, never a clean empty file.
+            self.inner.corrupt(
+                generation, truncate_to=self._rng.randrange(1, size)
+            )
+        if index in self._bit_flip_at:
+            self._bit_flip_at.discard(index)
+            self.faults_fired += 1
+            self.inner.corrupt(generation, flip_bit=self._rng.randrange(size * 8))
+        return generation
+
+    def load_latest(self, *, min_generation=None):
+        index = self._loads
+        self._loads += 1
+        if index in self._io_error_loads:
+            self._io_error_loads.discard(index)
+            self.faults_fired += 1
+            raise TransientStoreError(
+                f"injected transient store error on load #{index}", index
+            )
+        return self.inner.load_latest(min_generation=min_generation)
+
+    # Pure delegation for the rest of the store interface.
+
+    def load(self, generation: int):
+        return self.inner.load(generation)
+
+    def generations(self):
+        return self.inner.generations()
+
+    def oldest_cursor(self):
+        return self.inner.oldest_cursor()
+
+    def corrupt(self, generation, **kwargs) -> None:
+        self.inner.corrupt(generation, **kwargs)
+
+    def frame_size(self, generation: int) -> int:
+        return self.inner.frame_size(generation)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultyStore(saves={self._saves}, loads={self._loads}, "
+            f"fired={self.faults_fired}, inner={self.inner!r})"
+        )
 
 
 def stall_watermarks(

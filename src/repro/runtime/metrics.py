@@ -141,6 +141,9 @@ class RecoveryStats:
         "results_emitted",
         "late_records",
         "shed_records",
+        "quarantined_records",
+        "store_fallbacks",
+        "resumed_from_cursor",
         "recovery_seconds",
     )
 
@@ -154,6 +157,12 @@ class RecoveryStats:
         self.results_emitted = 0
         self.late_records = 0
         self.shed_records = 0
+        # Poison records the DeadLetterQueue pulled out of the stream.
+        self.quarantined_records = 0
+        # Corrupt newer generations skipped on restore (durable stores).
+        self.store_fallbacks = 0
+        # Cursor a resume=True run continued from; None for fresh runs.
+        self.resumed_from_cursor: int | None = None
         self.recovery_seconds: List[float] = []
 
     def record_recovery(self, seconds: float, elements: int, records: int) -> None:
@@ -191,6 +200,8 @@ class RecoveryStats:
             "results_emitted": self.results_emitted,
             "late_records": self.late_records,
             "shed_records": self.shed_records,
+            "quarantined_records": self.quarantined_records,
+            "store_fallbacks": self.store_fallbacks,
             "mean_recovery_seconds": self.mean_recovery_seconds,
             "total_recovery_seconds": self.total_recovery_seconds,
         }

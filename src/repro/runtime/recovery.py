@@ -9,22 +9,49 @@ boundaries, never of half-applied batches), and on any operator failure
 restores the last snapshot, rewinds the source cursor, and replays the
 tail under a retry/backoff budget.
 
+Durable checkpoints
+-------------------
+Snapshots go to a :class:`~repro.runtime.durability.CheckpointStore`
+(default: :class:`~repro.runtime.durability.InMemoryStore` keeping one
+generation -- the classic in-supervisor behaviour).  With a
+:class:`~repro.runtime.durability.DiskCheckpointStore` the recovery
+state survives the process: checkpoints are CRC32-framed files written
+atomically, and a restore that finds the newest generation corrupt (a
+torn write, a bit flip) falls back generation-by-generation to the last
+good one.  The supervisor keeps its emitted-results log deep enough to
+cover the *oldest* retained generation, so exactly-once re-emission
+holds no matter which generation the restore lands on.
+
 Exactly-once re-emission
 ------------------------
 Replayed input re-produces results the sink already saw.  Operators are
 deterministic (same state + same elements => same emissions, the
-property the checkpoint tests assert), so the supervisor keeps the list
-of results delivered since the last checkpoint and, during replay,
-matches re-emitted results against that list one-for-one -- suppressing
-the duplicates and *verifying* they are bit-identical to what was
-delivered (a mismatch means replay diverged and raises
+property the checkpoint tests assert), so the supervisor logs every
+delivered result with the cursor of the batch that produced it and,
+during replay, matches re-emitted results against that log one-for-one
+-- suppressing the duplicates and *verifying* they are bit-identical to
+what was delivered (a mismatch means replay diverged and raises
 :class:`RecoveryError` rather than silently corrupting the sink).  The
 sink therefore observes every window result exactly once, crash or no
 crash.
 
+Poison-record quarantine
+------------------------
+A record whose UDF raises *deterministically* would otherwise burn the
+whole restart budget and kill the run.  With a
+:class:`~repro.runtime.durability.DeadLetterQueue` attached, a failing
+batch is first retried ``dlq.max_retries`` times (each retry is an
+ordinary restore-and-replay, so transient faults heal); past the budget
+the supervisor restores once more and replays the batch
+record-at-a-time to isolate the culprit, quarantines it (cause, cursor,
+attempt count, ``on_poison_record`` hook), and continues without it.
+Quarantine decisions live in a cursor-indexed log applied on every
+pass, so a later crash-and-replay neither re-emits nor re-quarantines a
+poisoned record.
+
 Graceful degradation
 --------------------
-Two failure modes degrade explicitly instead of silently:
+Two further failure modes degrade explicitly instead of silently:
 
 * late records beyond the allowed lateness are handed to a side channel
   (``late_record_sink``) via the operator's ``on_late_record`` hook and
@@ -38,13 +65,21 @@ Two failure modes degrade explicitly instead of silently:
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
-from typing import Callable, Deque, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.operator_base import WindowOperator
+from ..core.tracing import Tracer
 from ..core.types import Record, StreamElement, WindowResult
 from .checkpoint import restore, snapshot
+from .durability import (
+    CheckpointStore,
+    DeadLetterQueue,
+    InMemoryStore,
+    StoredCheckpoint,
+)
 from .faults import SourceHiccup
 from .memory import deep_sizeof
 from .metrics import RecoveryStats
@@ -81,9 +116,23 @@ class RestartPolicy:
     consecutive source-read retries.  The delay before restart ``n``
     (0-based) is ``backoff_seconds * backoff_factor**n``, capped at
     ``max_backoff_seconds``.
+
+    ``jitter`` decorrelates restarts that would otherwise fire in
+    lockstep (e.g. several shards killed by one fault): the base delay
+    is stretched by up to ``jitter`` of itself, deterministically --
+    :meth:`delay` is a pure function of ``(seed, attempt, token)``, so
+    equal seeds reproduce equal schedules while different ``token``
+    values (shard indexes, typically) spread out.
     """
 
-    __slots__ = ("max_restarts", "backoff_seconds", "backoff_factor", "max_backoff_seconds")
+    __slots__ = (
+        "max_restarts",
+        "backoff_seconds",
+        "backoff_factor",
+        "max_backoff_seconds",
+        "jitter",
+        "seed",
+    )
 
     def __init__(
         self,
@@ -91,6 +140,8 @@ class RestartPolicy:
         backoff_seconds: float = 0.0,
         backoff_factor: float = 2.0,
         max_backoff_seconds: float = 30.0,
+        jitter: float = 0.0,
+        seed: int = 0,
     ) -> None:
         if max_restarts < 0:
             raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
@@ -98,19 +149,33 @@ class RestartPolicy:
             raise ValueError("backoff durations must be non-negative")
         if backoff_factor < 1.0:
             raise ValueError(f"backoff_factor must be >= 1, got {backoff_factor}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
         self.max_restarts = max_restarts
         self.backoff_seconds = backoff_seconds
         self.backoff_factor = backoff_factor
         self.max_backoff_seconds = max_backoff_seconds
+        self.jitter = jitter
+        self.seed = seed
 
-    def delay(self, attempt: int) -> float:
-        """Backoff before the given 0-based restart attempt."""
+    def delay(self, attempt: int, *, token: int = 0) -> float:
+        """Backoff before the given 0-based restart attempt.
+
+        ``token`` names the restarting party (a shard index); with
+        ``jitter`` enabled, different tokens draw different -- but
+        seed-deterministic -- stretches of the same base delay.
+        """
         if self.backoff_seconds == 0.0:
             return 0.0
-        return min(
+        base = min(
             self.max_backoff_seconds,
             self.backoff_seconds * self.backoff_factor**attempt,
         )
+        if self.jitter == 0.0:
+            return base
+        # Seeded by value, not by object identity: pure given the seed.
+        draw = random.Random(f"{self.seed}|{attempt}|{token}").random()
+        return base * (1.0 + self.jitter * draw)
 
 
 class MemoryPressure:
@@ -168,7 +233,12 @@ class MemoryGuard:
 
 
 class Checkpoint:
-    """One durable recovery point: operator snapshot + source cursor."""
+    """One recovery point: operator snapshot + source cursor.
+
+    Retained as the supervisor's view of its newest successful save;
+    the authoritative copy (and any older generations) lives in the
+    :class:`~repro.runtime.durability.CheckpointStore`.
+    """
 
     __slots__ = ("blob", "cursor", "records_processed")
 
@@ -209,11 +279,24 @@ class SupervisedPipeline:
         Elements per :meth:`WindowOperator.process_batch` call.
     restart_policy:
         Retry/backoff budget (default: 3 restarts, no backoff).
+    store:
+        Where checkpoints live (default:
+        :class:`~repro.runtime.durability.InMemoryStore` keeping one
+        generation).  A disk store makes recovery survive the process;
+        see the module docstring for corruption fallback semantics.
+    dlq:
+        Optional :class:`~repro.runtime.durability.DeadLetterQueue`;
+        when set, deterministic per-record failures are quarantined
+        after a bounded number of retries instead of failing the run.
     memory_guard / on_pressure:
         Optional bounded-memory degradation (see module docstring).
     late_record_sink:
         Optional callable (or object with ``append``) receiving records
         dropped beyond the allowed lateness, exactly once each.
+    tracer:
+        Optional :class:`~repro.core.tracing.Tracer`; receives the
+        ``durability.*`` / ``dlq.*`` counters (shared with the store
+        and DLQ unless they already carry their own tracer).
     sleep / clock:
         Injectable for tests; default ``time.sleep`` /
         ``time.perf_counter``.
@@ -227,10 +310,13 @@ class SupervisedPipeline:
         checkpoint_every: int = 1_000,
         batch_size: int = 1,
         restart_policy: Optional[RestartPolicy] = None,
+        store: Optional[CheckpointStore] = None,
+        dlq: Optional[DeadLetterQueue] = None,
         memory_guard: Optional[MemoryGuard] = None,
         on_pressure: Optional[Callable[[MemoryPressure], None]] = None,
         late_record_sink=None,
         stats: Optional[RecoveryStats] = None,
+        tracer: Optional[Tracer] = None,
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
@@ -243,12 +329,20 @@ class SupervisedPipeline:
         self.checkpoint_every = checkpoint_every
         self.batch_size = batch_size
         self.policy = restart_policy if restart_policy is not None else RestartPolicy()
+        self.store = store if store is not None else InMemoryStore(keep=1)
+        self.dlq = dlq
         self.guard = memory_guard
         self.on_pressure = on_pressure
         if late_record_sink is not None and not callable(late_record_sink):
             late_record_sink = late_record_sink.append
         self._late_sink = late_record_sink
         self.stats = stats if stats is not None else RecoveryStats()
+        self.tracer = tracer
+        if tracer is not None:
+            if self.store.tracer is None:
+                self.store.tracer = tracer
+            if dlq is not None and dlq.tracer is None:
+                dlq.tracer = tracer
         self._sleep = sleep
         self._clock = clock
 
@@ -265,6 +359,18 @@ class SupervisedPipeline:
         # when the batch succeeds on its first (non-replay) pass, so a
         # crashed half-batch or a replayed batch never reports twice.
         self._late_buffer: List[Record] = []
+        # Results delivered to the sink, keyed by the cursor of the
+        # batch that produced them.  Trimmed to the oldest retained
+        # store generation: any fallback restores at or after it, so
+        # the log always covers the replay window.
+        self._emitted_log: List[Tuple[int, WindowResult]] = []
+        # Poison-record bookkeeping (only populated with a DLQ).
+        self._quarantined: Set[int] = set()
+        self._failures_at: Dict[int, int] = {}
+        self._isolate_at: Optional[int] = None
+        # Fallback floor: a fresh run must never restore a generation a
+        # previous run left in a shared (disk) store.
+        self._min_generation: Optional[int] = None
 
     # ------------------------------------------------------------------
     # operator (un)wrapping
@@ -304,20 +410,97 @@ class SupervisedPipeline:
                 self._late_sink(record)
 
     # ------------------------------------------------------------------
-    # checkpointing
+    # checkpointing against the durable store
 
     def _take_checkpoint(self, cursor: int, records_processed: int) -> None:
-        self.checkpoint = Checkpoint(
-            snapshot(self._snapshot_target()), cursor, records_processed
-        )
+        """Snapshot and save; transient store I/O errors are retried
+        under the restart policy (the previous generation stands until a
+        save succeeds)."""
+        blob = snapshot(self._snapshot_target(), tracer=self.tracer)
+        attempt = 0
+        while True:
+            try:
+                generation = self.store.save(
+                    blob, cursor=cursor, records_processed=records_processed
+                )
+                break
+            except OSError as exc:
+                self._failures.append(exc)
+                if self.tracer is not None:
+                    self.tracer.count("durability.save_retries")
+                if attempt >= self.policy.max_restarts:
+                    raise PipelineFailed(
+                        f"checkpoint save failed {attempt + 1} times "
+                        f"at cursor {cursor}",
+                        self._failures,
+                    ) from exc
+                self._sleep(self.policy.delay(attempt))
+                attempt += 1
+        if self._min_generation is None:
+            self._min_generation = generation
+        self.checkpoint = Checkpoint(blob, cursor, records_processed)
         self.stats.checkpoints_taken += 1
+        self._trim_emitted_log()
+
+    def _trim_emitted_log(self) -> None:
+        horizon = self.store.oldest_cursor()
+        if (
+            horizon is not None
+            and self._emitted_log
+            and self._emitted_log[0][0] < horizon
+        ):
+            self._emitted_log = [
+                entry for entry in self._emitted_log if entry[0] >= horizon
+            ]
+
+    def _restore_latest(self) -> StoredCheckpoint:
+        """Load the newest loadable generation (transient I/O retried,
+        corrupt generations skipped by the store) and reseat the
+        operator from it."""
+        attempt = 0
+        while True:
+            try:
+                loaded = self.store.load_latest(min_generation=self._min_generation)
+                break
+            except OSError as exc:
+                self._failures.append(exc)
+                if self.tracer is not None:
+                    self.tracer.count("durability.load_retries")
+                if attempt >= self.policy.max_restarts:
+                    raise PipelineFailed(
+                        f"checkpoint load failed {attempt + 1} times",
+                        self._failures,
+                    ) from exc
+                self._sleep(self.policy.delay(attempt))
+                attempt += 1
+        if loaded is None:
+            raise PipelineFailed(
+                "no loadable checkpoint generation remains "
+                "(all retained generations are corrupt)",
+                self._failures,
+            )
+        newest = self.store.generations()[-1]
+        if newest != loaded.generation:
+            # The store fell back past corrupt newer generations.
+            skipped = sum(
+                1 for g in self.store.generations() if g > loaded.generation
+            )
+            self.stats.store_fallbacks += skipped
+        self._reseat(restore(loaded.blob, tracer=self.tracer))
+        return loaded
 
     # ------------------------------------------------------------------
     # memory guard / load shedding
 
-    def _shed_filter(self, cursor: int, batch: List[StreamElement]) -> List[StreamElement]:
-        """Apply (and, past the decision horizon, extend) the shed log."""
-        end = cursor + len(batch)
+    def _shed_filter(
+        self, cursor: int, batch: List[StreamElement], end: int
+    ) -> List[StreamElement]:
+        """Apply (and, past the decision horizon, extend) the shed log.
+
+        ``end`` is the cursor after the *original* batch -- quarantine
+        filtering may have shrunk ``batch``, but shed decisions cover
+        whole cursor ranges of the source stream.
+        """
         if cursor >= self._decided_to:
             self._decide_shedding(cursor, end)
             self._decided_to = end
@@ -360,14 +543,106 @@ class SupervisedPipeline:
                     )
 
     # ------------------------------------------------------------------
+    # poison-record quarantine
+
+    def _quarantine_filter(
+        self, cursor: int, batch: List[StreamElement]
+    ) -> List[StreamElement]:
+        """Drop records the DLQ has quarantined (applied on every pass,
+        so replay neither re-emits nor re-quarantines them)."""
+        if not self._quarantined:
+            return batch
+        return [
+            element
+            for offset, element in enumerate(batch)
+            if not (
+                isinstance(element, Record) and cursor + offset in self._quarantined
+            )
+        ]
+
+    def _deliver(
+        self,
+        results: List[WindowResult],
+        pending_replay: Deque[WindowResult],
+        batch_cursor: int,
+    ) -> None:
+        """Exactly-once delivery: replayed results must match what the
+        sink already observed; only genuinely new results are emitted
+        (and logged against the batch that produced them)."""
+        stats = self.stats
+        for result in results:
+            if pending_replay:
+                expected = pending_replay.popleft()
+                if expected != result:
+                    raise RecoveryError(
+                        "replay diverged from the pre-crash run: "
+                        f"expected {expected!r}, re-emitted {result!r}"
+                    )
+                stats.deduped_results += 1
+            else:
+                self.sink.emit(result)
+                self._emitted_log.append((batch_cursor, result))
+                stats.results_emitted += 1
+
+    def _isolate_batch(
+        self,
+        cursor: int,
+        batch: List[StreamElement],
+        pending_replay: Deque[WindowResult],
+        replayed_batch: bool,
+    ) -> Optional[Record]:
+        """Replay one failing batch record-at-a-time to find the poison
+        record.  Successful prefixes are delivered (and deduped) as they
+        go; the culprit is quarantined and returned, with operator state
+        left mid-batch for the caller to roll back.  Returns ``None``
+        when the whole batch passes (the failure was transient after
+        all)."""
+        shed = self._cursor_shed(cursor)
+        for offset, element in enumerate(batch):
+            position = cursor + offset
+            if isinstance(element, Record):
+                if shed or position in self._quarantined:
+                    continue
+                try:
+                    results = self._operator.process(element)
+                except Exception as exc:
+                    self._late_buffer.clear()
+                    attempts = self._failures_at.get(cursor, 0)
+                    # May raise DeadLetterOverflow: the caller escalates
+                    # that to the ordinary restart budget.
+                    self.dlq.quarantine(
+                        element, cursor=position, attempts=attempts, cause=exc
+                    )
+                    self._quarantined.add(position)
+                    self.stats.quarantined_records += 1
+                    self._failures_at.pop(cursor, None)
+                    self._isolate_at = None
+                    return element
+            else:
+                results = self._operator.process(element)
+            self._flush_late_buffer(replayed_batch)
+            self._deliver(results, pending_replay, cursor)
+        self._failures_at.pop(cursor, None)
+        self._isolate_at = None
+        return None
+
+    # ------------------------------------------------------------------
     # the supervision loop
 
-    def run(self, elements) -> RecoveryStats:
+    def run(self, elements, *, resume: bool = False) -> RecoveryStats:
         """Drain the stream, surviving failures; returns the run's stats.
 
         ``elements`` may be a :class:`ReplayableSource` (e.g. a
         :class:`~repro.runtime.faults.FaultySource`) or any sequence,
         which is materialized into one.
+
+        ``resume=True`` continues from the newest loadable generation a
+        previous run (possibly a dead process) left in the store,
+        re-feeding the *same* stream: the operator restores from the
+        checkpoint and the cursor rewinds to it.  Results the dead
+        process emitted after that checkpoint are re-emitted (the
+        classic at-least-once boundary of a non-transactional sink);
+        within the resumed run, delivery is exactly-once as usual.
         """
         source = (
             elements
@@ -380,13 +655,25 @@ class SupervisedPipeline:
         self._last_guard_check = 0
         self._late_buffer.clear()
 
-        self._take_checkpoint(0, 0)
         cursor = 0
         records_done = 0
+        if resume:
+            self._min_generation = None
+            loaded = self.store.load_latest()
+            if loaded is not None:
+                self._reseat(restore(loaded.blob, tracer=self.tracer))
+                cursor = loaded.cursor
+                records_done = loaded.records_processed
+                self.checkpoint = Checkpoint(
+                    loaded.blob, loaded.cursor, loaded.records_processed
+                )
+                self.stats.resumed_from_cursor = loaded.cursor
+            else:
+                self._take_checkpoint(0, 0)
+        else:
+            self._take_checkpoint(0, 0)
         records_since_checkpoint = 0
-        # Results delivered to the sink since the last checkpoint, and
-        # the queue of those a replay is expected to re-produce.
-        since_checkpoint: List[WindowResult] = []
+        # Results a replay is expected to re-produce verbatim.
         pending_replay: Deque[WindowResult] = deque()
         restarts = 0
         hiccups_in_row = 0
@@ -410,55 +697,63 @@ class SupervisedPipeline:
                 continue
             hiccups_in_row = 0
 
-            to_process = self._shed_filter(cursor, batch)
-            replayed_batch = cursor + len(batch) <= self._high_cursor
+            end = cursor + len(batch)
+            replayed_batch = end <= self._high_cursor
             try:
-                results = self._operator.process_batch(to_process)
+                if self._isolate_at == cursor:
+                    poison = self._isolate_batch(
+                        cursor, batch, pending_replay, replayed_batch
+                    )
+                    if poison is not None:
+                        # The culprit left mid-batch state behind; roll
+                        # back to the checkpoint and replay without it.
+                        self._rewind(stats)
+                        loaded = self.checkpoint
+                        cursor = loaded.cursor
+                        records_done = loaded.records_processed
+                        records_since_checkpoint = 0
+                        pending_replay = self._pending_after(cursor)
+                        continue
+                else:
+                    to_process = self._shed_filter(
+                        cursor, self._quarantine_filter(cursor, batch), end
+                    )
+                    results = self._operator.process_batch(to_process)
+                    self._flush_late_buffer(replayed_batch)
+                    self._deliver(results, pending_replay, cursor)
             except Exception as exc:
                 self._late_buffer.clear()
-                restarts += 1
                 self._failures.append(exc)
-                if restarts > policy.max_restarts:
-                    raise PipelineFailed(
-                        f"operator failed {restarts} times "
-                        f"(max_restarts={policy.max_restarts}); giving up "
-                        f"at cursor {cursor}",
-                        self._failures,
-                    ) from exc
-                checkpoint = self.checkpoint
+                managed = self.dlq is not None and self._note_dlq_failure(cursor, exc)
+                if not managed:
+                    restarts += 1
+                    if restarts > policy.max_restarts:
+                        raise PipelineFailed(
+                            f"operator failed {restarts} times "
+                            f"(max_restarts={policy.max_restarts}); giving up "
+                            f"at cursor {cursor}",
+                            self._failures,
+                        ) from exc
                 began = self._clock()
-                self._reseat(restore(checkpoint.blob))
-                replayed_elements = cursor - checkpoint.cursor
-                replayed_records = records_done - checkpoint.records_processed
-                cursor = checkpoint.cursor
-                records_done = checkpoint.records_processed
+                loaded = self._restore_latest()
+                replayed_elements = cursor - loaded.cursor
+                replayed_records = records_done - loaded.records_processed
+                cursor = loaded.cursor
+                records_done = loaded.records_processed
                 records_since_checkpoint = 0
-                pending_replay = deque(since_checkpoint)
+                pending_replay = self._pending_after(cursor)
                 stats.record_recovery(
                     self._clock() - began, replayed_elements, replayed_records
                 )
-                self._sleep(policy.delay(restarts - 1))
+                attempt = (
+                    self._failures_at.get(cursor, restarts) - 1
+                    if managed
+                    else restarts - 1
+                )
+                self._sleep(policy.delay(max(0, attempt)))
                 continue
 
-            self._flush_late_buffer(replayed_batch)
-            # Exactly-once delivery: replayed results must match what the
-            # sink already observed; only genuinely new results are
-            # emitted.
-            for result in results:
-                if pending_replay:
-                    expected = pending_replay.popleft()
-                    if expected != result:
-                        raise RecoveryError(
-                            "replay diverged from the pre-crash run: "
-                            f"expected {expected!r}, re-emitted {result!r}"
-                        )
-                    stats.deduped_results += 1
-                else:
-                    self.sink.emit(result)
-                    since_checkpoint.append(result)
-                    stats.results_emitted += 1
-
-            cursor += len(batch)
+            cursor = end
             if cursor > self._high_cursor:
                 self._high_cursor = cursor
             batch_records = _count_records(batch)
@@ -467,9 +762,46 @@ class SupervisedPipeline:
             if records_since_checkpoint >= self.checkpoint_every:
                 self._take_checkpoint(cursor, records_done)
                 records_since_checkpoint = 0
-                # Results not yet re-matched stay expected for the next
-                # replay window; everything older is safely behind the
-                # new checkpoint.
-                since_checkpoint = list(pending_replay)
 
         return stats
+
+    def _pending_after(self, cursor: int) -> Deque[WindowResult]:
+        """Delivered results the replay from ``cursor`` must re-produce."""
+        return deque(
+            result for batch_cursor, result in self._emitted_log if batch_cursor >= cursor
+        )
+
+    def _rewind(self, stats: RecoveryStats) -> None:
+        """Restore the newest loadable generation after a quarantine
+        (state is mid-batch; the replay excludes the poison record)."""
+        began = self._clock()
+        loaded = self._restore_latest()
+        self.checkpoint = Checkpoint(
+            loaded.blob, loaded.cursor, loaded.records_processed
+        )
+        stats.record_recovery(self._clock() - began, 0, 0)
+
+    def _note_dlq_failure(self, cursor: int, exc: BaseException) -> bool:
+        """Track one batch failure against the DLQ's retry budget.
+
+        Returns True when the DLQ manages this failure (retry or
+        isolate next pass); False hands it to the restart budget --
+        including a :class:`DeadLetterOverflow` raised mid-isolation,
+        which must escalate rather than loop.
+        """
+        from .durability import DeadLetterOverflow
+
+        if isinstance(exc, DeadLetterOverflow):
+            return False
+        if self._isolate_at == cursor:
+            # The record-at-a-time pass itself failed (a non-record
+            # element, or a fault outside any single record): not a
+            # poison record, so stop managing it.
+            return False
+        count = self._failures_at.get(cursor, 0) + 1
+        self._failures_at[cursor] = count
+        if count <= self.dlq.max_retries:
+            self.dlq.record_retry()
+        else:
+            self._isolate_at = cursor
+        return True

@@ -39,20 +39,32 @@ Execution model
   way (see :func:`run_keyed_reference`).
 * **Recovery.**  Workers checkpoint their keyed operator every
   ``checkpoint_every`` records (RSLC snapshots, at batch boundaries) and
-  ship the blob to the coordinator.  When a shard crashes -- an injected
-  fault from :mod:`repro.runtime.faults`, a real exception, or a hard
-  process death -- only that shard restarts: the coordinator respawns it
-  from the last shipped snapshot and replays the feed items sent since.
-  Results the sink already observed are matched one-for-one against the
-  replay (:class:`~repro.runtime.recovery.RecoveryError` on divergence)
-  and suppressed, so every window result is delivered exactly once,
-  crash or no crash -- the :class:`SupervisedPipeline` contract, per
-  shard.
+  ship the blob to the coordinator, which saves it into that shard's
+  :class:`~repro.runtime.durability.CheckpointStore` (``store_factory``;
+  default an in-memory store keeping one generation).  When a shard
+  crashes -- an injected fault from :mod:`repro.runtime.faults`, a real
+  exception, or a hard process death -- only that shard restarts: the
+  coordinator restores the newest *loadable* generation from the store
+  (corrupt generations -- torn writes, bit flips -- are detected by
+  their CRC frame and skipped, falling back generation-by-generation)
+  and replays the feed items sent since that generation's position.
+  With a :class:`~repro.runtime.durability.DiskCheckpointStore` the
+  restore point survives even a hard-killed coordinator-side cache: the
+  blob is re-read from disk.  Results the sink already observed are
+  matched one-for-one against the replay
+  (:class:`~repro.runtime.recovery.RecoveryError` on divergence) and
+  suppressed, so every window result is delivered exactly once, crash
+  or no crash -- the :class:`SupervisedPipeline` contract, per shard.
+  The coordinator keeps each shard's replay feed and delivered-results
+  log back to the *oldest retained* generation, so exactly-once holds
+  no matter how far the fallback reaches.
 
 Tracing counters (coordinator tracer): ``shard.batches``,
 ``shard.records`` (worker-side, folded in; replayed work counts again),
 ``shard.queue_full_waits``, ``shard.restarts``,
-``shard.deduped_results``.  See docs/parallelism.md.
+``shard.deduped_results``, plus the stores' ``durability.*`` family
+(saves, loads, corrupt_generations, fallbacks, gc_collected).  See
+docs/parallelism.md.
 """
 
 from __future__ import annotations
@@ -69,6 +81,7 @@ from ..core.operator_base import WindowOperator
 from ..core.tracing import Tracer
 from ..core.types import Punctuation, Record, StreamElement, Watermark, WindowResult
 from .checkpoint import restore, snapshot
+from .durability import CheckpointStore, InMemoryStore, StoredCheckpoint
 from .faults import FaultInjectingOperator, FaultPlan
 from .keyed import KeyedWindowOperator
 from .partition import _canonical_bytes, stable_hash
@@ -221,6 +234,8 @@ class _ShardState:
         "next_seq",
         "replay",
         "sent_upto",
+        "store",
+        "first_generation",
         "ckpt_seq",
         "ckpt_blob",
         "ckpt_records",
@@ -242,16 +257,26 @@ class _ShardState:
         #: Records waiting to fill the next batch for this shard.
         self.buffer: List[Record] = []
         self.next_seq = 0
-        #: Feed items since the last shipped checkpoint (replay source).
+        #: Feed items since the oldest retained checkpoint generation
+        #: (the replay source; a fallback may restore any of them).
         self.replay: List[tuple] = []
         #: How many of ``replay`` have been put on the current queue.
         self.sent_upto = 0
+        #: This shard's durable checkpoint store (set per run).
+        self.store: Optional[CheckpointStore] = None
+        #: First generation this run saved -- the fallback floor; stale
+        #: generations a previous run left in a shared store are never
+        #: restored.
+        self.first_generation: Optional[int] = None
+        #: The restore point the current worker life started from
+        #: (chosen by ``_restart`` from the store; blob ``None`` means a
+        #: fresh operator).
         self.ckpt_seq = -1
         self.ckpt_blob: Optional[bytes] = None
         self.ckpt_records = 0
         self.ckpt_counters: Dict[str, int] = {}
-        #: Results delivered downstream since the last checkpoint, with
-        #: the feed seq that produced them (trimmed at each checkpoint).
+        #: Results delivered downstream since the oldest retained
+        #: generation, with the feed seq that produced them.
         self.since_ckpt: List[Tuple[int, WindowResult]] = []
         #: Replayed results still expected to be re-emitted verbatim.
         self.pending_replay: Deque[Tuple[int, WindowResult]] = deque()
@@ -282,6 +307,16 @@ class ShardedPipeline:
         boundaries and shipped to the coordinator).
     restart_policy:
         Per-shard restart budget (default: 3 restarts, no backoff).
+        With ``jitter`` configured, each shard's backoff draws its own
+        deterministic stretch (``delay(..., token=shard_index)``), so
+        shards killed by one fault don't restart in lockstep.
+    store_factory:
+        ``shard_index -> CheckpointStore``; called once per shard per
+        run.  Default: :class:`~repro.runtime.durability.InMemoryStore`
+        keeping one generation (the classic coordinator-memory
+        behavior).  A :class:`~repro.runtime.durability.DiskCheckpointStore`
+        per shard makes restore points durable and corruption falls
+        back to older generations.
     fault_plans / crash_at / error_at:
         Optional per-shard fault injection (``{shard_index: ...}``),
         applied inside the worker via :class:`FaultInjectingOperator`.
@@ -309,6 +344,7 @@ class ShardedPipeline:
         queue_capacity: int = 16,
         checkpoint_every: int = 10_000,
         restart_policy: Optional[RestartPolicy] = None,
+        store_factory: Optional[Callable[[int], CheckpointStore]] = None,
         fault_plans: Optional[Dict[int, FaultPlan]] = None,
         crash_at: Optional[Dict[int, Iterable[int]]] = None,
         error_at: Optional[Dict[int, Iterable[int]]] = None,
@@ -329,6 +365,7 @@ class ShardedPipeline:
         self.queue_capacity = queue_capacity
         self.checkpoint_every = checkpoint_every
         self.policy = restart_policy if restart_policy is not None else RestartPolicy()
+        self.store_factory = store_factory
         self.fault_plans = dict(fault_plans or {})
         self.crash_at = {k: tuple(v) for k, v in (crash_at or {}).items()}
         self.error_at = {k: tuple(v) for k, v in (error_at or {}).items()}
@@ -378,8 +415,31 @@ class ShardedPipeline:
         )
         state.process.start()
 
+    def _load_restore_point(self, state: _ShardState) -> Optional[StoredCheckpoint]:
+        """Newest loadable generation from the shard's store (transient
+        I/O errors retried under the restart-policy budget; corrupt
+        generations skipped by the store's CRC check)."""
+        if state.first_generation is None:
+            return None  # nothing saved this run: restart from scratch
+        attempt = 0
+        while True:
+            try:
+                return state.store.load_latest(min_generation=state.first_generation)
+            except OSError as exc:
+                self._failures.append(exc)
+                if attempt >= self.policy.max_restarts:
+                    self._terminate_all()
+                    raise PipelineFailed(
+                        f"shard {state.index} checkpoint load failed "
+                        f"{attempt + 1} times",
+                        self._failures,
+                    ) from exc
+                time.sleep(self.policy.delay(attempt, token=state.index))
+                attempt += 1
+
     def _restart(self, state: _ShardState, cause: BaseException) -> None:
-        """Respawn one crashed shard from its last checkpoint and replay."""
+        """Respawn one crashed shard from the newest loadable checkpoint
+        generation and replay the feed sent since it."""
         self._failures.append(cause)
         state.restarts += 1
         if state.restarts > self.policy.max_restarts:
@@ -390,6 +450,22 @@ class ShardedPipeline:
                 self._failures,
             ) from cause
         self.tracer.count("shard.restarts")
+        loaded = self._load_restore_point(state)
+        if loaded is not None:
+            state.ckpt_seq = loaded.cursor
+            state.ckpt_blob = loaded.blob
+            state.ckpt_records = loaded.records_processed
+            state.ckpt_counters = dict((loaded.meta or {}).get("counters", {}))
+        else:
+            # All generations corrupt (or none saved yet): restart from
+            # the beginning of the retained replay window.
+            state.ckpt_seq = -1
+            state.ckpt_blob = None
+            state.ckpt_records = 0
+            state.ckpt_counters = {}
+        # This life's pre-restore-point work is final; everything after
+        # it will be recounted by the replay.
+        self._fold_counters(state.ckpt_counters)
         old_queue = state.queue
         if state.process is not None:
             state.process.join(timeout=5.0)
@@ -401,13 +477,25 @@ class ShardedPipeline:
             # queue for the fresh process avoids double delivery.
             old_queue.cancel_join_thread()
             old_queue.close()
-        time.sleep(self.policy.delay(state.restarts - 1))
+        time.sleep(self.policy.delay(state.restarts - 1, token=state.index))
         state.generation += 1
         state.crashed = False
-        # Everything delivered since the checkpoint must be re-emitted
-        # verbatim by the replay before anything new is accepted.
-        state.pending_replay = deque(state.since_ckpt)
-        state.sent_upto = 0
+        # Everything delivered after the restore point must be
+        # re-emitted verbatim by the replay before anything new is
+        # accepted.  Feed items at or before it are durable w.r.t. this
+        # restore point and are skipped -- but stay retained (trimmed
+        # only by checkpoint GC) in case a later restart falls back to
+        # an older generation.
+        seq0 = state.ckpt_seq
+        state.pending_replay = deque(
+            (s, r) for s, r in state.since_ckpt if s > seq0
+        )
+        skip = 0
+        for item in state.replay:
+            if item[1] > seq0:
+                break
+            skip += 1
+        state.sent_upto = skip
         self._spawn(state)
         self._pump(state)
 
@@ -417,7 +505,6 @@ class ShardedPipeline:
         if state.crashed or state.stopped or not state.process or state.process.is_alive():
             return  # a crash message arrived after all, or a false alarm
         state.crashed = True
-        self._fold_counters(state.ckpt_counters)
         self._restart(
             state,
             RuntimeError(
@@ -522,20 +609,39 @@ class ShardedPipeline:
                 self._release_epochs()
         elif kind == "ckpt":
             _, _, seq, records, blob, counters = message
-            state.ckpt_seq = seq
-            state.ckpt_blob = blob
-            state.ckpt_records = records
-            state.ckpt_counters = counters
-            # The checkpoint makes everything at/before seq durable:
-            # replay starts after it, and nothing older needs matching.
-            # Every trimmed item was necessarily already sent (the
-            # worker processed seq), so sent_upto shrinks by the trim.
+            try:
+                generation = state.store.save(
+                    blob,
+                    cursor=seq,
+                    records_processed=records,
+                    meta={"counters": counters},
+                )
+            except OSError as exc:
+                # A failed save is survivable: the previous generation
+                # stands, and the replay window simply stays deeper.
+                self._failures.append(exc)
+                self.tracer.count("shard.ckpt_save_errors")
+                return
+            if state.first_generation is None:
+                state.first_generation = generation
+            # The new generation makes everything at/before seq durable,
+            # but a corrupt newer generation may force a fallback: keep
+            # replay state back to the *oldest retained* generation and
+            # only trim what checkpoint GC has aged out.  Every trimmed
+            # item was necessarily already sent (the worker processed
+            # past it), so sent_upto shrinks by the trim.
+            horizon = state.store.oldest_cursor()
+            if horizon is None:
+                horizon = seq  # oldest frame unreadable: newest rules
             before = len(state.replay)
-            state.replay = [it for it in state.replay if it[1] > seq]
+            state.replay = [it for it in state.replay if it[1] > horizon]
             state.sent_upto -= before - len(state.replay)
-            state.since_ckpt = [(s, r) for s, r in state.since_ckpt if s > seq]
+            state.since_ckpt = [(s, r) for s, r in state.since_ckpt if s > horizon]
+            # Matching of in-flight replayed results is against the
+            # worker's actual restore point, which is never newer than
+            # this checkpoint: only age-out trimming applies here too.
             state.pending_replay = deque(
-                (s, r) for s, r in state.pending_replay if s > seq
+                (s, r) for s, r in state.pending_replay if s > horizon
             )
         elif kind == "stats":
             _, _, records, counters = message
@@ -545,9 +651,8 @@ class ShardedPipeline:
             _, _, seq, text, fired = message
             state.crashed = True
             state.fired.update(fired)
-            # This generation's pre-checkpoint work is final; the work
-            # after the checkpoint will be recounted by the replay.
-            self._fold_counters(state.ckpt_counters)
+            # Counters fold in _restart, once the restore point (and so
+            # the boundary between final and replayed work) is known.
             self._pending_crashes.append(
                 (
                     state,
@@ -596,6 +701,14 @@ class ShardedPipeline:
         self._failures = []
         self._pending_crashes = []
         self.tracer = Tracer()
+        for state in self._shards:
+            state.store = (
+                self.store_factory(state.index)
+                if self.store_factory is not None
+                else InMemoryStore(keep=1)
+            )
+            if state.store.tracer is None:
+                state.store.tracer = self.tracer
         eid = 0
         try:
             for state in self._shards:

@@ -231,6 +231,49 @@ class TestRestartBudget:
             RestartPolicy(backoff_seconds=-0.1)
         with pytest.raises(ValueError):
             RestartPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RestartPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RestartPolicy(jitter=-0.1)
+
+
+class TestJitteredBackoff:
+    def _policy(self, **kwargs):
+        kwargs.setdefault("max_restarts", 5)
+        kwargs.setdefault("backoff_seconds", 0.5)
+        kwargs.setdefault("backoff_factor", 2.0)
+        kwargs.setdefault("max_backoff_seconds", 3.0)
+        return RestartPolicy(**kwargs)
+
+    def test_jitter_is_pure_given_seed(self):
+        """delay() is a pure function of (seed, attempt, token): equal
+        inputs give equal schedules across policy instances."""
+        first = self._policy(jitter=0.5, seed=99)
+        second = self._policy(jitter=0.5, seed=99)
+        schedule = [first.delay(n, token=3) for n in range(5)]
+        assert schedule == [second.delay(n, token=3) for n in range(5)]
+        # Repeated calls on one instance do not consume shared RNG state.
+        assert schedule == [first.delay(n, token=3) for n in range(5)]
+
+    def test_jitter_stays_within_declared_stretch(self):
+        policy = self._policy(jitter=0.5, seed=7)
+        for attempt, base in enumerate([0.5, 1.0, 2.0, 3.0, 3.0]):
+            delayed = policy.delay(attempt)
+            assert base <= delayed <= base * 1.5
+
+    def test_different_seeds_and_tokens_decorrelate(self):
+        policy = self._policy(jitter=1.0, seed=1)
+        other_seed = self._policy(jitter=1.0, seed=2)
+        assert policy.delay(0) != other_seed.delay(0)
+        # Shards restarting off one fault spread out by token.
+        delays = {policy.delay(0, token=shard) for shard in range(8)}
+        assert len(delays) == 8
+
+    def test_zero_jitter_preserves_plain_schedule(self):
+        plain = self._policy()
+        assert [plain.delay(n) for n in range(5)] == [0.5, 1.0, 2.0, 3.0, 3.0]
+        # Any token still yields the undisturbed base schedule.
+        assert plain.delay(2, token=5) == 2.0
 
 
 class TestLateRecordChannel:
