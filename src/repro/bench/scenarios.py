@@ -251,6 +251,7 @@ def _register_kernels() -> None:
     for slug, kernel in (
         ("auto", None),
         ("flatfat", "flatfat"),
+        ("finger_tree", "finger_tree"),
         ("two_stacks", "two_stacks"),
         ("subtract_on_evict", "subtract_on_evict"),
     ):
@@ -266,6 +267,73 @@ def _register_kernels() -> None:
 
 
 _register_kernels()
+
+
+# ----------------------------------------------------------------------
+# out-of-order kernel ablation (the fig9 regime): a disordered
+# fine-slide sliding aggregation on an eager store, where every record
+# lands a positional kernel update (one per distinct function -- four
+# here, so kernel work dominates the fixed slicing overhead), every
+# 250 ms watermark bulk-evicts the expired slice prefix, and 20 % of
+# records arrive late and touch the middle of the structure.  This is
+# the FlatFAT-vs-finger-tree battleground: FlatFAT pays a combine per
+# tree level per update and a full O(s) rebuild per eviction, the
+# finger tree marks a short dirty path and drops the prefix in one
+# walk.  ``ooo/auto`` pins what the selector actually ships.
+
+
+@lru_cache(maxsize=4)
+def _ooo_dense_elements(size: int) -> Tuple[StreamElement, ...]:
+    # Same disorder knobs as _ooo_elements, but watermarks every 250 ms:
+    # the eviction cadence is the point of the kernel comparison.
+    disordered = inject_disorder(
+        list(_inorder_records(size)), 0.2, 2 * SECOND_MS, seed=11
+    )
+    return tuple(
+        with_watermarks(
+            disordered, interval=SECOND_MS // 4, max_delay=2 * SECOND_MS
+        )
+    )
+
+
+def _ooo_kernel_operator(kernel: Optional[str]) -> GeneralSlicingOperator:
+    from ..aggregations import Average, Max, Min
+
+    operator = GeneralSlicingOperator(
+        stream_in_order=False,
+        eager=True,
+        kernel=kernel,
+        allowed_lateness=2 * SECOND_MS,
+    )
+    for aggregation in (Sum(), Max(), Min(), Average()):
+        operator.add_query(
+            SlidingWindow(10 * SECOND_MS, SECOND_MS // 10), aggregation
+        )
+    return operator
+
+
+def _register_ooo_kernels() -> None:
+    for slug, kernel in (
+        ("auto", None),
+        ("flatfat", "flatfat"),
+        ("finger", "finger_tree"),
+    ):
+
+        @scenario(
+            f"ooo/{slug}",
+            tags=("ooo", "kernel", "eager", slug),
+            full_size=30_000,
+            smoke_size=1_500,
+        )
+        def _run_ooo_kernel(size: int, _kernel: Optional[str] = kernel) -> Dict[str, object]:
+            operator = _ooo_kernel_operator(_kernel)
+            tracer = operator.enable_tracing()
+            run = _run(operator, _ooo_dense_elements(size))
+            run["counters"] = dict(tracer.counters)
+            return run
+
+
+_register_ooo_kernels()
 
 
 # ----------------------------------------------------------------------

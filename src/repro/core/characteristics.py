@@ -153,22 +153,34 @@ def select_kernel(
 
     Extends the paper's decision figures with the kernel dimension:
 
-    * Out-of-order input or split-capable workloads need cheap middle
-      updates -- only the FlatFAT tree offers O(log s) there; the
-      specialised kernels degrade to O(s) rebuilds.
-    * Holistic partials grow with the data, so prefix/suffix aggregates
-      (both specialised kernels precompute them) would hold the whole
-      history per entry; the tree keeps holistic state bounded.
-    * Invertible, commutative functions with an exact invert get the
-      subtract-on-evict kernel: O(1) for every operation.
-    * Everything else associative gets two-stacks: amortised O(1)
-      append/evict/query without needing an invert, and order-preserving
-      for non-commutative functions.
+    * Non-associative functions need order-exact point updates over a
+      materialised leaf list, and holistic partials grow with the data,
+      so prefix/suffix aggregates (the specialised in-order kernels
+      precompute them) would hold the whole history per entry -- both
+      go to the FlatFAT tree, which keeps per-node state bounded and
+      repairs one root path per update.
+    * Split-capable workloads (context-aware windows under disorder,
+      forward-context windows) also stay on FlatFAT: splits land as
+      insert+update+update bursts whose random point writes are the
+      tree's native operation.
+    * Remaining out-of-order associative workloads -- the former FlatFAT
+      fallback -- get the finger B-tree: O(log d) positional inserts for
+      a late record at distance ``d``, lazy aggregate repair instead of
+      a combine per update, and whole-prefix bulk eviction per watermark
+      instead of FlatFAT's O(s) rebuild (the FiBA result).
+    * Invertible, commutative functions with an exact invert on in-order
+      streams get the subtract-on-evict kernel: O(1) for every
+      operation.
+    * Everything else associative and in-order gets two-stacks:
+      amortised O(1) append/evict/query without needing an invert, and
+      order-preserving for non-commutative functions.
     """
-    if not stream_in_order or needs_splits or not function.associative:
+    if not function.associative or function.kind is AggregationClass.HOLISTIC:
         return KernelKind.FLAT_FAT
-    if function.kind is AggregationClass.HOLISTIC:
+    if needs_splits:
         return KernelKind.FLAT_FAT
+    if not stream_in_order:
+        return KernelKind.FINGER_TREE
     if function.invertible and function.commutative and function.exact_invert:
         return KernelKind.SUBTRACT_ON_EVICT
     return KernelKind.TWO_STACKS

@@ -19,6 +19,14 @@ in-order hot path:
   in O(1) via one ``invert``.  Restricted to functions whose inversion
   is exact on the partial domain (``exact_invert``) so results stay
   bit-identical to recomputation.
+* :class:`FingerTreeKernel` -- a FiBA-style finger B-tree (Tangwongsan
+  et al., *Out-of-Order Sliding-Window Aggregation with Efficient Bulk
+  Evictions and Insertions*) for associative functions on out-of-order
+  streams: positional inserts cost O(log d) for distance ``d`` from the
+  nearer end, in-order appends and front evictions touch only a spine,
+  subtree aggregates are cached with lazy up-propagation (updates mark
+  the root path dirty and queries repair it), and an expired prefix is
+  evicted in a single top-down walk that drops whole subtrees.
 
 All kernels implement the same surface as
 :class:`~repro.core.flatfat.FlatFAT` (which remains the general-purpose
@@ -47,6 +55,7 @@ __all__ = [
     "KernelKind",
     "TwoStacksKernel",
     "SubtractOnEvictKernel",
+    "FingerTreeKernel",
     "make_kernel",
 ]
 
@@ -60,6 +69,8 @@ class KernelKind(enum.Enum):
     TWO_STACKS = "two_stacks"
     #: Prefix aggregates + invert: O(1) everything, invertible functions.
     SUBTRACT_ON_EVICT = "subtract_on_evict"
+    #: Finger B-tree: O(log d) positional inserts, bulk prefix eviction.
+    FINGER_TREE = "finger_tree"
 
     @classmethod
     def coerce(cls, value: Union["KernelKind", str]) -> "KernelKind":
@@ -434,6 +445,334 @@ class SubtractOnEvictKernel:
         )
 
 
+class _FingerNode:
+    """One finger-tree node: a leaf bucket of partials or an inner fan-out.
+
+    ``sizes[i]`` mirrors ``items[i].size`` on inner nodes so positional
+    descent never touches grandchildren; ``agg`` caches the merged
+    aggregate of all non-``None`` partials below and is repaired lazily
+    (``dirty``) so bursts of point updates between queries cost zero
+    combines.
+    """
+
+    __slots__ = ("leaf", "items", "sizes", "size", "agg", "dirty")
+
+    def __init__(self, leaf: bool, items: list, sizes: Optional[List[int]] = None) -> None:
+        self.leaf = leaf
+        self.items = items
+        self.sizes = sizes
+        self.size = len(items) if leaf else sum(sizes or ())
+        self.agg: Any = None
+        self.dirty = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "leaf" if self.leaf else f"inner×{len(self.items)}"
+        return f"_FingerNode({kind}, size={self.size})"
+
+
+class FingerTreeKernel:
+    """Finger B-tree over slice partials for out-of-order workloads.
+
+    A counted B-tree keyed by *position*: every inner node stores its
+    children's subtree sizes, so ``insert(index, ...)`` descends directly
+    to the owning leaf bucket in O(height) with no per-leaf shifting --
+    the FiBA regime where a late record at distance ``d`` from the tail
+    costs O(log d) instead of FlatFAT's O(s) leaf shift + full rebuild.
+    Three properties carry the out-of-order hot path:
+
+    * **Lazy up-propagation**: mutations only invalidate the cached
+      aggregates on the root path (``dirty`` flags, zero combines);
+      the next range query repairs exactly the still-dirty nodes it
+      touches (counted as ``finger_tree.spine_repairs``).  A burst of k
+      point updates between two watermarks therefore costs k spine
+      *markings* but at most one spine *repair*.
+    * **Bulk eviction**: ``remove_front(count)`` drops the expired
+      prefix in one top-down walk, unlinking whole subtrees instead of
+      popping leaves one by one -- O(height + dropped nodes), against
+      FlatFAT's full O(s) rebuild per watermark.
+    * **Finger appends**: in-order appends descend the right spine only
+      and fill the tail bucket in place; a bucket split touches just
+      that spine, so sustained in-order load is amortised O(1) combines
+      (none -- aggregates stay lazy) plus an O(height) size walk.
+
+    Deletions never rebalance (they only unlink emptied nodes and
+    collapse single-child roots): tree height is bounded by the insert
+    history, which keeps ``remove`` simple and safe for the slice
+    manager's merge traffic while preserving balance under the
+    grow-at-the-tail / evict-at-the-head streaming lifecycle.
+
+    Only associativity is required; combine order is preserved
+    everywhere, so non-commutative functions are legal.
+    """
+
+    __slots__ = ("_combine", "_root", "tracer")
+
+    #: Leaf buckets split above this many partials.
+    _LEAF_MAX = 32
+    #: Inner nodes split above this many children.
+    _NODE_MAX = 16
+
+    def __init__(self, combine) -> None:
+        self._combine = combine
+        self._root = _FingerNode(True, [])
+        #: Observability sink (``finger_tree.*`` counters); ``None`` off.
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # internal helpers
+
+    def _merge(self, left: Any, right: Any) -> Any:
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return self._combine(left, right)
+
+    def _node_agg(self, node: _FingerNode) -> Any:
+        """The node's cached aggregate, repairing it if stale."""
+        if not node.dirty:
+            return node.agg
+        agg: Any = None
+        if node.leaf:
+            for value in node.items:
+                agg = self._merge(agg, value)
+        else:
+            for child in node.items:
+                agg = self._merge(agg, self._node_agg(child))
+        node.agg = agg
+        node.dirty = False
+        if self.tracer is not None:
+            self.tracer.count("finger_tree.spine_repairs")
+        return agg
+
+    @staticmethod
+    def _locate(node: _FingerNode, index: int) -> Tuple[int, int]:
+        """Child position owning leaf ``index`` (index < node.size)."""
+        sizes = node.sizes
+        i = 0
+        while index >= sizes[i]:
+            index -= sizes[i]
+            i += 1
+        return i, index
+
+    def _split(self, node: _FingerNode) -> _FingerNode:
+        """Split an overfull node in half; returns the new right sibling."""
+        half = len(node.items) // 2
+        if node.leaf:
+            right = _FingerNode(True, node.items[half:])
+        else:
+            right = _FingerNode(False, node.items[half:], node.sizes[half:])
+            del node.sizes[half:]
+        del node.items[half:]
+        node.size = len(node.items) if node.leaf else sum(node.sizes)
+        node.dirty = True
+        return right
+
+    def _insert_into(self, node: _FingerNode, index: int, partial: Any) -> Optional[_FingerNode]:
+        """Recursive positional insert; returns a split-off right sibling."""
+        node.dirty = True
+        if node.leaf:
+            node.items.insert(index, partial)
+            node.size += 1
+            if len(node.items) > self._LEAF_MAX:
+                return self._split(node)
+            return None
+        sizes = node.sizes
+        # index == node.size (append) must land at the tail of the last
+        # child, so the strict scan stops at the final position.
+        i = 0
+        last = len(sizes) - 1
+        while i < last and index > sizes[i]:
+            index -= sizes[i]
+            i += 1
+        child = node.items[i]
+        sibling = self._insert_into(child, index, partial)
+        node.size += 1
+        sizes[i] = child.size
+        if sibling is not None:
+            node.items.insert(i + 1, sibling)
+            sizes.insert(i + 1, sibling.size)
+            if len(node.items) > self._NODE_MAX:
+                return self._split(node)
+        return None
+
+    def _insert_at(self, index: int, partial: Any) -> None:
+        sibling = self._insert_into(self._root, index, partial)
+        if sibling is not None:
+            old = self._root
+            self._root = _FingerNode(False, [old, sibling], [old.size, sibling.size])
+
+    def _collapse_root(self) -> None:
+        """Shrink the root while it is an inner node with a single child."""
+        while not self._root.leaf and len(self._root.items) == 1:
+            self._root = self._root.items[0]
+        if self._root.size == 0 and not self._root.leaf:  # pragma: no cover - guard
+            self._root = _FingerNode(True, [])
+
+    # ------------------------------------------------------------------
+    # public API (FlatFAT-compatible)
+
+    def __len__(self) -> int:
+        return self._root.size
+
+    @property
+    def height(self) -> int:
+        """Tree height in levels (1 = a single leaf bucket)."""
+        levels = 1
+        node = self._root
+        while not node.leaf:
+            levels += 1
+            node = node.items[0]
+        return levels
+
+    def leaf(self, index: int) -> Any:
+        if not 0 <= index < self._root.size:
+            raise IndexError(f"leaf index {index} out of range (size {self._root.size})")
+        node = self._root
+        while not node.leaf:
+            i, index = self._locate(node, index)
+            node = node.items[i]
+        return node.items[index]
+
+    def leaves(self) -> List[Any]:
+        out: List[Any] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                out.extend(node.items)
+            else:
+                stack.extend(reversed(node.items))
+        return out
+
+    def append(self, partial: Any) -> None:
+        self._insert_at(self._root.size, partial)
+
+    def extend(self, partials: Sequence[Any]) -> None:
+        for partial in partials:
+            self._insert_at(self._root.size, partial)
+
+    def insert(self, index: int, partial: Any) -> None:
+        size = self._root.size
+        if not 0 <= index <= size:
+            raise IndexError(f"insert index {index} out of range (size {size})")
+        if index < size and self.tracer is not None:
+            self.tracer.count("finger_tree.ooo_inserts")
+        self._insert_at(index, partial)
+
+    def update(self, index: int, partial: Any) -> None:
+        if not 0 <= index < self._root.size:
+            raise IndexError(f"leaf index {index} out of range (size {self._root.size})")
+        node = self._root
+        while not node.leaf:
+            node.dirty = True
+            i, index = self._locate(node, index)
+            node = node.items[i]
+        node.dirty = True
+        node.items[index] = partial
+
+    def _remove_from(self, node: _FingerNode, index: int) -> Any:
+        node.dirty = True
+        if node.leaf:
+            removed = node.items.pop(index)
+            node.size -= 1
+            return removed
+        i, inner = self._locate(node, index)
+        child = node.items[i]
+        removed = self._remove_from(child, inner)
+        node.size -= 1
+        if child.size == 0:
+            node.items.pop(i)
+            node.sizes.pop(i)
+        else:
+            node.sizes[i] = child.size
+        return removed
+
+    def remove(self, index: int) -> Any:
+        if not 0 <= index < self._root.size:
+            raise IndexError(f"leaf index {index} out of range (size {self._root.size})")
+        removed = self._remove_from(self._root, index)
+        self._collapse_root()
+        return removed
+
+    def remove_front(self, count: int) -> None:
+        """Evict the oldest ``count`` leaves in one top-down walk.
+
+        Whole subtrees covered by the expired prefix are unlinked
+        without visiting their leaves; only the one boundary path is
+        descended.  This is the FiBA bulk-eviction result: cost
+        O(height + unlinked children), independent of the kernel size.
+        """
+        size = self._root.size
+        if count <= 0:
+            return
+        if count > size:
+            raise IndexError(f"cannot remove {count} of {size} leaves")
+        if self.tracer is not None:
+            self.tracer.count("finger_tree.bulk_evictions")
+        if count == size:
+            self._root = _FingerNode(True, [])
+            return
+        node = self._root
+        remaining = count
+        while True:
+            node.dirty = True
+            node.size -= remaining
+            if node.leaf:
+                del node.items[:remaining]
+                break
+            drop = 0
+            while node.sizes[drop] <= remaining:
+                remaining -= node.sizes[drop]
+                drop += 1
+            if drop:
+                del node.items[:drop]
+                del node.sizes[:drop]
+            if remaining == 0:
+                break
+            node.sizes[0] -= remaining
+            node = node.items[0]
+        self._collapse_root()
+
+    def _query_node(self, node: _FingerNode, lo: int, hi: int) -> Any:
+        """Combine leaves ``[lo, hi)`` below ``node``, left-to-right."""
+        if lo <= 0 and hi >= node.size:
+            return self._node_agg(node)
+        if node.leaf:
+            acc: Any = None
+            for value in node.items[lo:hi]:
+                acc = self._merge(acc, value)
+            return acc
+        acc = None
+        for child, child_size in zip(node.items, node.sizes):
+            if hi <= 0:
+                break
+            if lo < child_size:
+                part = self._query_node(child, max(lo, 0), min(hi, child_size))
+                acc = self._merge(acc, part)
+            lo -= child_size
+            hi -= child_size
+        return acc
+
+    def query(self, lo: int, hi: int) -> Any:
+        size = self._root.size
+        if lo < 0 or hi > size:
+            raise IndexError(f"query range [{lo}, {hi}) out of bounds (size {size})")
+        if lo >= hi:
+            return None
+        if self.tracer is not None:
+            self.tracer.count("finger_tree.queries")
+        return self._query_node(self._root, lo, hi)
+
+    def root(self) -> Any:
+        if self._root.size == 0:
+            return None
+        return self._node_agg(self._root)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FingerTreeKernel(size={self._root.size}, height={self.height})"
+
+
 def make_kernel(kind: Union[KernelKind, str], function: AggregateFunction):
     """Instantiate the kernel backing one function's slice partials.
 
@@ -447,6 +786,14 @@ def make_kernel(kind: Union[KernelKind, str], function: AggregateFunction):
         return FlatFAT(function.combine)
     if kind is KernelKind.TWO_STACKS:
         return TwoStacksKernel(function.combine)
+    if kind is KernelKind.FINGER_TREE:
+        if not function.associative:
+            raise ValueError(
+                f"kernel {kind.value!r} requires an associative aggregation "
+                f"(its cached subtree aggregates regroup the combines), "
+                f"got {function.name!r}"
+            )
+        return FingerTreeKernel(function.combine)
     if not function.invertible:
         raise ValueError(
             f"kernel {kind.value!r} requires an invertible aggregation, "

@@ -246,7 +246,7 @@ class GeneralSlicingOperator(WindowOperator):
         Maintain an incremental kernel per function over slice partials
         (eager slicing): lower output latency, slightly lower throughput
         (Figure 11 vs 8/9).  The kernel is auto-selected from the
-        workload characteristics (FlatFAT / two-stacks /
+        workload characteristics (FlatFAT / finger-tree / two-stacks /
         subtract-on-evict); ``kernel=`` forces one for ablations.
     allowed_lateness:
         How long after the watermark late records still produce update
@@ -258,7 +258,8 @@ class GeneralSlicingOperator(WindowOperator):
         Force one eager-store kernel for every function instead of the
         characteristics-driven selection.  Accepts a
         :class:`~repro.core.kernels.KernelKind` or its string value
-        (``"flatfat"``, ``"two_stacks"``, ``"subtract_on_evict"``).
+        (``"flatfat"``, ``"finger_tree"``, ``"two_stacks"``,
+        ``"subtract_on_evict"``).
         Requires ``eager=True``; illegal combinations (subtract without
         an invert) raise on query registration.
     share_windows:

@@ -11,8 +11,9 @@ restore can tell a checkpoint from arbitrary bytes and reject blobs
 written by an incompatible build, instead of blindly unpickling.
 
 The operator object graph includes the eager store's aggregation
-kernels (FlatFAT trees, two-stacks fronts/backs, subtract-on-evict
-prefix arrays), so kernel state rides the same pickle -- a restored
+kernels (FlatFAT trees, finger B-trees, two-stacks fronts/backs,
+subtract-on-evict prefix arrays), so kernel state rides the same
+pickle -- a restored
 operator resumes with the exact internal structure, not a rebuilt one
 (pinned by ``tests/test_kernel_properties.py`` and the kernel chaos
 tests in ``tests/test_chaos_equivalence.py``).

@@ -43,7 +43,7 @@ class TestRegistry:
     def test_registry_covers_the_required_axes(self):
         names = set(SCENARIOS)
         for prefix in ("ingest/inorder/", "ingest/ooo/", "batched/", "keyed/",
-                       "holistic/", "recovery/", "tracing/"):
+                       "holistic/", "recovery/", "tracing/", "kernel/", "ooo/"):
             assert any(name.startswith(prefix) for name in names), prefix
 
     def test_smoke_sizes_are_smaller(self):

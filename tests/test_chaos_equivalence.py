@@ -140,6 +140,7 @@ def test_inorder_chaos_equivalence(tech, window):
     assert results == expected
 
 
+@pytest.mark.ooo
 @pytest.mark.parametrize(
     "tech, window", OOO_MATRIX, ids=[f"{t}-{w}" for t, w in OOO_MATRIX]
 )
@@ -187,11 +188,12 @@ def test_multi_query_chaos_with_all_fault_kinds(eager):
 
 
 @pytest.mark.parametrize(
-    "kernel", ["flatfat", "two_stacks", "subtract_on_evict"]
+    "kernel", ["flatfat", "finger_tree", "two_stacks", "subtract_on_evict"]
 )
 def test_kernel_state_chaos_equivalence(kernel):
-    """Each aggregation kernel's internal state (FlatFAT tree, the two
-    stacks, subtract-on-evict prefixes) must ride checkpoints cleanly:
+    """Each aggregation kernel's internal state (FlatFAT tree, finger
+    B-tree, the two stacks, subtract-on-evict prefixes) must ride
+    checkpoints cleanly:
     crash mid-stream, recover, and the remaining windows still close on
     the exact same values as an uninterrupted run."""
 
@@ -208,6 +210,43 @@ def test_kernel_state_chaos_equivalence(kernel):
     )
     assert stats.restarts == CRASHES
     assert results == expected
+
+
+@pytest.mark.ooo
+def test_cross_kernel_ooo_chaos_equivalence():
+    """FlatFAT and the finger tree must be interchangeable *under fire*:
+    the same seeded disordered stream, each kernel supervised through
+    its own ≥3-crash schedule with per-kernel checkpoint restores, must
+    emit identical results -- and identical to both kernels'
+    uninterrupted runs.  This pins the pair the selector actually
+    chooses between on out-of-order workloads."""
+
+    def factory_for(kernel):
+        def factory():
+            operator = GeneralSlicingOperator(
+                stream_in_order=False,
+                eager=True,
+                kernel=kernel,
+                allowed_lateness=LATENESS,
+            )
+            operator.add_query(TumblingWindow(50), Sum())
+            operator.add_query(SlidingWindow(80, 20), Average())
+            operator.add_query(SessionWindow(7), Sum())
+            return operator
+
+        return factory
+
+    elements = ooo_stream()
+    outcomes = {}
+    for kernel in ("flatfat", "finger_tree"):
+        results, stats, expected = run_chaos(
+            factory_for(kernel), elements, combo_seed("xkernel", kernel, "ooo")
+        )
+        assert stats.restarts == CRASHES
+        assert results == expected, f"{kernel}: chaos run diverged from clean run"
+        outcomes[kernel] = results
+    assert outcomes["flatfat"] == outcomes["finger_tree"]
+    assert len(outcomes["flatfat"]) > 0
 
 
 def test_chaos_with_tuple_at_a_time_batches():

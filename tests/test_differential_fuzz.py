@@ -55,10 +55,14 @@ def _horizon(arrival: Sequence[Record]) -> int:
     """
     return max(record.ts for record in arrival) + 1_000
 
-INORDER_CASES = 12
-OOO_CASES = 8
-KEYED_CASES = 6
-HOLISTIC_CASES = 6
+#: Iteration multiplier for long fuzz campaigns (the ``fuzz-long`` CI
+#: job runs with ``REPRO_FUZZ_SCALE=10``); 1 keeps PR runs fast.
+FUZZ_SCALE = max(1, int(os.environ.get("REPRO_FUZZ_SCALE", "1")))
+
+INORDER_CASES = 12 * FUZZ_SCALE
+OOO_CASES = 8 * FUZZ_SCALE
+KEYED_CASES = 6 * FUZZ_SCALE
+HOLISTIC_CASES = 6 * FUZZ_SCALE
 
 # A query draw is a (window factory, aggregation factory) pair: window
 # and aggregation objects hold per-operator state, so every operator
@@ -203,6 +207,7 @@ def _kernel_override_operators(draws: List[QueryDraw], *, in_order: bool):
     operators = [
         ("lazy-unshared", make(share_windows=False)),
         ("eager-flatfat", make(eager=True, kernel="flatfat")),
+        ("eager-finger", make(eager=True, kernel="finger_tree")),
         ("eager-two-stacks", make(eager=True, kernel="two_stacks")),
     ]
     if _subtract_legal(draws):
@@ -297,6 +302,7 @@ def test_fuzz_inorder_all_techniques(case):
         _check_technique(name, make_operator, draws, stream, seed)
 
 
+@pytest.mark.ooo
 @pytest.mark.parametrize("case", range(OOO_CASES))
 def test_fuzz_out_of_order_general_techniques(case):
     seed = _child_seed("ooo", case)
@@ -311,6 +317,7 @@ def test_fuzz_out_of_order_general_techniques(case):
         _check_technique(name, make_operator, draws, arrival, seed)
 
 
+@pytest.mark.ooo
 @pytest.mark.parametrize("case", range(HOLISTIC_CASES))
 def test_fuzz_holistic_median_record_keeping_techniques(case):
     seed = _child_seed("holistic", case)

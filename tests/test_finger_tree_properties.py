@@ -1,0 +1,414 @@
+"""Finger-tree kernel property suite: disorder-shaped ops vs a list oracle.
+
+The generic kernel suite (``tests/test_kernel_properties.py``) already
+drives every kernel through uniform random op mixes; this suite aims the
+:class:`~repro.core.kernels.FingerTreeKernel` at the traffic shapes it
+was built for and that the uniform mix under-samples:
+
+* **in-order runs / out-of-order bursts** -- stretches of tail appends
+  interleaved with positional inserts clustered near a random locus,
+  the arrival pattern a late-record burst produces;
+* **bulk evictions** -- whole-prefix ``remove_front`` calls up to the
+  full structure size, including the evict-everything edge;
+* **snapshot/restore mid-sequence** -- the kernel is pickled and
+  replaced by its clone *between* ops, so every subsequent divergence
+  would convict the checkpoint path (RSLC snapshots pickle kernels
+  in-place).
+
+Reproducibility follows the house pattern: the base seed comes from
+``REPRO_FINGER_SEED`` (default pinned), every case derives a child seed,
+failures are greedily shrunk to a minimal op list and printed in a
+pasteable form.  ``REPRO_FUZZ_SCALE`` multiplies the case count for the
+``fuzz-long`` CI job.
+
+Every aggregation in the default registry that is legal on the kernel
+(associative -- the only gate ``make_kernel`` enforces) is exercised;
+comparisons lower partials and use the suite-standard 1e-9 tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import random
+from typing import Any, List, Optional, Tuple
+
+import pytest
+
+from repro import GeneralSlicingOperator, Record, Watermark
+from repro.aggregations import Sum, default_registry
+from repro.aggregations.base import AggregateFunction
+from repro.core.kernels import FingerTreeKernel, KernelKind, make_kernel
+from repro.runtime.checkpoint import restore, snapshot
+from repro.runtime.disorder import inject_disorder, with_watermarks
+from repro.windows import SessionWindow, SlidingWindow
+
+pytestmark = [pytest.mark.fuzz, pytest.mark.ooo]
+
+BASE_SEED = int(os.environ.get("REPRO_FINGER_SEED", "20230607"))
+
+#: Iteration multiplier for long fuzz campaigns (``fuzz-long`` CI job).
+FUZZ_SCALE = max(1, int(os.environ.get("REPRO_FUZZ_SCALE", "1")))
+
+SEEDS = range(3 * FUZZ_SCALE)
+OPS_PER_CASE = 150
+
+#: Op kinds with draw weights.  ``run`` is an in-order append stretch,
+#: ``burst`` a cluster of positional inserts around one locus,
+#: ``evict`` a whole-prefix bulk eviction, ``pickle`` a mid-sequence
+#: snapshot/restore swap.
+OP_KINDS = (
+    ("run", 4),
+    ("burst", 3),
+    ("insert", 2),
+    ("update", 2),
+    ("remove", 1),
+    ("evict", 3),
+    ("query", 3),
+    ("pickle", 1),
+)
+_WEIGHTED = [kind for kind, weight in OP_KINDS for _ in range(weight)]
+
+Op = Tuple[str, int, int, int]  # (kind, raw_a, raw_b, raw_value)
+
+
+def _child_seed(fn_name: str, index: int) -> int:
+    return random.Random(f"{BASE_SEED}:{fn_name}:{index}").randrange(2**63)
+
+
+def _cases():
+    for fn_name, fn in default_registry().items():
+        if not fn.associative:
+            continue
+        for seed_index in SEEDS:
+            yield pytest.param(fn_name, seed_index, id=f"{fn_name}-s{seed_index}")
+
+
+# ----------------------------------------------------------------------
+# oracle and comparison (same conventions as test_kernel_properties)
+
+
+def _lift_value(function: AggregateFunction, fn_name: str, raw: int) -> Any:
+    value = float(raw % 50 + 1)  # strictly positive: geomean-safe
+    if fn_name in ("argmin", "argmax"):
+        return function.lift((value, f"t{raw % 7}"))
+    return function.lift(value)
+
+
+def _oracle_fold(function: AggregateFunction, leaves: List[Any], lo: int, hi: int) -> Any:
+    partial = None
+    for leaf in leaves[lo:hi]:
+        if leaf is None:
+            continue
+        partial = leaf if partial is None else function.combine(partial, leaf)
+    return partial
+
+
+def _approx_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, float) and isinstance(right, float):
+        return math.isclose(left, right, rel_tol=1e-9, abs_tol=1e-9)
+    if isinstance(left, (tuple, list)) and isinstance(right, (tuple, list)):
+        return len(left) == len(right) and all(
+            _approx_equal(a, b) for a, b in zip(left, right)
+        )
+    return left == right
+
+
+def _lowered(function: AggregateFunction, partial: Any) -> Any:
+    return function.lower_or_default(partial)
+
+
+def _check_structure(kernel: FingerTreeKernel) -> Optional[str]:
+    """Walk the tree checking the counted-B-tree bookkeeping invariants."""
+    stack = [kernel._root]
+    while stack:
+        node = stack.pop()
+        if node.leaf:
+            if node.size != len(node.items):
+                return f"leaf size {node.size} != {len(node.items)} items"
+            continue
+        if not node.items:
+            return "empty inner node left in the tree"
+        if len(node.items) != len(node.sizes):
+            return f"inner node has {len(node.items)} children, {len(node.sizes)} sizes"
+        for child, recorded in zip(node.items, node.sizes):
+            if child.size != recorded:
+                return f"stale child size: recorded {recorded}, actual {child.size}"
+        if node.size != sum(node.sizes):
+            return f"inner size {node.size} != sum of children {sum(node.sizes)}"
+        stack.extend(node.items)
+    return None
+
+
+# ----------------------------------------------------------------------
+# op generation and application
+
+
+def _generate_ops(rng: random.Random) -> List[Op]:
+    return [
+        (
+            rng.choice(_WEIGHTED),
+            rng.randrange(2**30),
+            rng.randrange(2**30),
+            rng.randrange(2**30),
+        )
+        for _ in range(OPS_PER_CASE)
+    ]
+
+
+def _apply_ops(
+    function: AggregateFunction, fn_name: str, ops: List[Op]
+) -> Optional[str]:
+    """Run ``ops`` against the finger tree and the oracle; return a
+    mismatch description, or None.  Raw op arguments are resolved
+    against the current size, so shrinking never invalidates later ops.
+    """
+    kernel = make_kernel(KernelKind.FINGER_TREE, function)
+    oracle: List[Any] = []
+    for step, (op, raw_a, raw_b, raw_value) in enumerate(ops):
+        size = len(oracle)
+        partial = None if raw_value % 10 == 0 else _lift_value(function, fn_name, raw_value)
+        if op == "run":
+            # In-order stretch: tail appends, the slicer's steady state.
+            for offset in range(raw_b % 8 + 1):
+                value = (
+                    None
+                    if (raw_value + offset) % 10 == 0
+                    else _lift_value(function, fn_name, raw_value + offset)
+                )
+                kernel.append(value)
+                oracle.append(value)
+        elif op == "burst":
+            # Late-record burst: inserts clustered around one locus.
+            locus = raw_a % (size + 1)
+            for offset in range(raw_b % 5 + 1):
+                index = min(locus + offset, len(oracle))
+                value = (
+                    None
+                    if (raw_value + offset) % 10 == 0
+                    else _lift_value(function, fn_name, raw_value + offset)
+                )
+                kernel.insert(index, value)
+                oracle.insert(index, value)
+        elif op == "insert":
+            index = raw_a % (size + 1)
+            kernel.insert(index, partial)
+            oracle.insert(index, partial)
+        elif op == "update":
+            if size == 0:
+                continue
+            index = raw_a % size
+            kernel.update(index, partial)
+            oracle[index] = partial
+        elif op == "remove":
+            if size == 0:
+                continue
+            index = raw_a % size
+            removed = kernel.remove(index)
+            expected_removed = oracle.pop(index)
+            if not _approx_equal(
+                _lowered(function, removed), _lowered(function, expected_removed)
+            ):
+                return f"step {step}: remove({index}) returned a wrong leaf"
+        elif op == "evict":
+            if size == 0:
+                continue
+            # Whole-prefix bulk eviction, up to evict-everything.
+            count = raw_a % size + 1
+            kernel.remove_front(count)
+            del oracle[:count]
+        elif op == "query":
+            if size == 0:
+                continue
+            a, b = raw_a % (size + 1), raw_b % (size + 1)
+            lo, hi = min(a, b), max(a, b)
+            got = _lowered(function, kernel.query(lo, hi))
+            want = _lowered(function, _oracle_fold(function, oracle, lo, hi))
+            if not _approx_equal(got, want):
+                return f"step {step}: query({lo}, {hi}) = {got!r}, oracle {want!r}"
+        elif op == "pickle":
+            # Mid-sequence snapshot/restore: the clone replaces the
+            # original, so the rest of the ops run on restored state.
+            kernel = pickle.loads(pickle.dumps(kernel))
+        if len(kernel) != len(oracle):
+            return f"step {step}: after {op}, size {len(kernel)} != oracle {len(oracle)}"
+        structural = _check_structure(kernel)
+        if structural is not None:
+            return f"step {step}: after {op}, {structural}"
+        got_root = _lowered(function, kernel.root())
+        want_root = _lowered(function, _oracle_fold(function, oracle, 0, len(oracle)))
+        if not _approx_equal(got_root, want_root):
+            return f"step {step}: after {op}, root {got_root!r}, oracle {want_root!r}"
+    got_leaves = [_lowered(function, leaf) for leaf in kernel.leaves()]
+    want_leaves = [_lowered(function, leaf) for leaf in oracle]
+    if not _approx_equal(got_leaves, want_leaves):
+        return f"final leaves {got_leaves!r} != oracle {want_leaves!r}"
+    return None
+
+
+def _shrink_ops(
+    function: AggregateFunction, fn_name: str, ops: List[Op]
+) -> List[Op]:
+    """Greedy delta-debugging: drop one op at a time while still failing."""
+    current = list(ops)
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + 1 :]
+            if candidate and _apply_ops(function, fn_name, candidate) is not None:
+                current = candidate
+                changed = True
+            else:
+                index += 1
+    return current
+
+
+# ----------------------------------------------------------------------
+# the property cases
+
+
+@pytest.mark.parametrize("fn_name,seed_index", _cases())
+def test_finger_tree_matches_list_oracle(fn_name, seed_index):
+    function = default_registry()[fn_name]
+    seed = _child_seed(fn_name, seed_index)
+    ops = _generate_ops(random.Random(seed))
+    failure = _apply_ops(function, fn_name, ops)
+    if failure is None:
+        return
+    minimal = _shrink_ops(function, fn_name, ops)
+    final_failure = _apply_ops(function, fn_name, minimal)
+    ops_repr = ", ".join(repr(op) for op in minimal)
+    pytest.fail(
+        f"finger tree diverges from the list oracle for {fn_name!r} "
+        f"(seed {seed}, set REPRO_FINGER_SEED to reproduce)\n"
+        f"failure: {final_failure}\n"
+        f"minimal op sequence ({len(minimal)} of {len(ops)} ops):\n  [{ops_repr}]"
+    )
+
+
+# ----------------------------------------------------------------------
+# targeted edges the random mix cannot guarantee
+
+
+def test_finger_tree_rejects_non_associative():
+    class Glue(AggregateFunction):
+        name = "glue"
+        associative = False
+
+        def lift(self, value):
+            return str(value)
+
+        def combine(self, a, b):  # pragma: no cover - never reached
+            return a + b
+
+        def lower(self, partial):  # pragma: no cover - never reached
+            return partial
+
+    with pytest.raises(ValueError, match="associative"):
+        make_kernel(KernelKind.FINGER_TREE, Glue())
+
+
+def test_finger_tree_deep_tree_bulk_evicts_to_empty():
+    """Grow past several levels, then evict everything in one call."""
+    kernel = FingerTreeKernel(lambda a, b: a + b)
+    total = FingerTreeKernel._LEAF_MAX * FingerTreeKernel._NODE_MAX * 4
+    kernel.extend(range(total))
+    assert kernel.height >= 3
+    assert kernel.root() == sum(range(total))
+    kernel.remove_front(total)
+    assert len(kernel) == 0
+    assert kernel.root() is None
+    kernel.append(7)  # still usable after the wipe
+    assert kernel.root() == 7
+
+
+def test_finger_tree_bulk_evict_prefix_keeps_suffix_exact():
+    kernel = FingerTreeKernel(lambda a, b: a + b)
+    values = list(range(500))
+    kernel.extend(values)
+    kernel.remove_front(333)
+    assert kernel.leaves() == values[333:]
+    assert kernel.root() == sum(values[333:])
+
+
+def test_finger_tree_counters_fire():
+    from repro.core.tracing import Tracer
+
+    tracer = Tracer()
+    kernel = FingerTreeKernel(lambda a, b: a + b)
+    kernel.tracer = tracer
+    kernel.extend(range(100))
+    kernel.insert(10, 5)  # mid-tree: out-of-order
+    kernel.append(1)  # tail: in-order, not counted
+    kernel.query(0, 50)
+    kernel.remove_front(30)
+    counters = tracer.counters
+    assert counters["finger_tree.ooo_inserts"] == 1
+    assert counters["finger_tree.bulk_evictions"] == 1
+    assert counters["finger_tree.queries"] == 1
+    assert counters["finger_tree.spine_repairs"] >= 1
+
+
+def test_finger_tree_index_errors():
+    kernel = FingerTreeKernel(lambda a, b: a + b)
+    kernel.extend(range(10))
+    with pytest.raises(IndexError):
+        kernel.leaf(10)
+    with pytest.raises(IndexError):
+        kernel.update(-1, 0)
+    with pytest.raises(IndexError):
+        kernel.insert(12, 0)
+    with pytest.raises(IndexError):
+        kernel.remove(10)
+    with pytest.raises(IndexError):
+        kernel.remove_front(11)
+    with pytest.raises(IndexError):
+        kernel.query(0, 11)
+    kernel.remove_front(0)  # zero-evict is a no-op, not an error
+    assert len(kernel) == 10
+
+
+# ----------------------------------------------------------------------
+# operator-level: RSLC snapshot/restore mid-way through a disordered stream
+
+
+def test_finger_kernel_survives_snapshot_restore_out_of_order():
+    """Snapshot an out-of-order eager operator mid-stream, restore, and
+    continue both: the finger trees inside must round-trip exactly
+    (diverging state shows up as a differing update/result downstream).
+    """
+    SECOND = 1000
+    base = [Record(i * 40, float(i % 23 - 11)) for i in range(1500)]
+    elements = list(
+        with_watermarks(
+            inject_disorder(base, fraction=0.25, max_delay=2 * SECOND, seed=5),
+            interval=SECOND,
+            max_delay=2 * SECOND,
+        )
+    )
+
+    operator = GeneralSlicingOperator(
+        stream_in_order=False, eager=True, allowed_lateness=4 * SECOND
+    )
+    operator.add_query(SlidingWindow(8 * SECOND, SECOND), Sum())
+    operator.add_query(SessionWindow(3 * SECOND), Sum())
+    selected = [k.value for kinds in operator.kernel_selection.values() for k in kinds]
+    assert selected and all(k == "finger_tree" for k in selected)
+
+    midpoint = len(elements) // 2
+    results = []
+    for element in elements[:midpoint]:
+        results.extend(operator.process(element))
+    clone = restore(snapshot(operator))
+    chain = clone._chains[next(iter(clone._chains))]
+    assert all(type(k) is FingerTreeKernel for k in chain.store.kernels)
+
+    tail_original, tail_clone = [], []
+    for element in elements[midpoint:] + [Watermark(10**9)]:
+        tail_original.extend(operator.process(element))
+        tail_clone.extend(clone.process(element))
+    assert tail_original == tail_clone
+    assert len(tail_original) > 0

@@ -1,6 +1,7 @@
 """Property-based kernel suite: random op sequences vs a list oracle.
 
-Every kernel (FlatFAT, two-stacks, subtract-on-evict) is driven through
+Every kernel (FlatFAT, finger-tree, two-stacks, subtract-on-evict) is
+driven through
 seeded random operation sequences -- append / update / insert / remove /
 evict / merge / query -- for every aggregation in the default registry,
 and checked step-by-step against a brute-force oracle that keeps the
@@ -43,7 +44,10 @@ pytestmark = pytest.mark.fuzz
 
 BASE_SEED = int(os.environ.get("REPRO_KERNEL_SEED", "20150831"))
 
-SEEDS = range(3)
+#: Iteration multiplier for long fuzz campaigns (``fuzz-long`` CI job).
+FUZZ_SCALE = max(1, int(os.environ.get("REPRO_FUZZ_SCALE", "1")))
+
+SEEDS = range(3 * FUZZ_SCALE)
 OPS_PER_CASE = 120
 
 #: Op kinds with draw weights; raw arguments are resolved at apply time.
@@ -68,6 +72,8 @@ def _child_seed(fn_name: str, kernel: str, index: int) -> int:
 def _cases():
     for fn_name, fn in default_registry().items():
         kinds = [KernelKind.FLAT_FAT, KernelKind.TWO_STACKS]
+        if fn.associative:
+            kinds.append(KernelKind.FINGER_TREE)
         if fn.invertible:
             kinds.append(KernelKind.SUBTRACT_ON_EVICT)
         for kind in kinds:
@@ -271,7 +277,9 @@ def test_unknown_kernel_name_rejected():
 # checkpoint round-trip: kernel state through RSLC snapshots
 
 
-@pytest.mark.parametrize("kernel", ["flatfat", "two_stacks", "subtract_on_evict"])
+@pytest.mark.parametrize(
+    "kernel", ["flatfat", "finger_tree", "two_stacks", "subtract_on_evict"]
+)
 def test_kernel_state_survives_snapshot_restore(kernel):
     """Snapshot mid-stream, restore, continue both: bit-identical output.
 

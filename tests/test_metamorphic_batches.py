@@ -37,7 +37,11 @@ from repro.windows import SessionWindow, SlidingWindow, TumblingWindow
 pytestmark = pytest.mark.fuzz
 
 BASE_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20190326"))
-SEEDS = range(3)
+
+#: Iteration multiplier for long fuzz campaigns (``fuzz-long`` CI job).
+FUZZ_SCALE = max(1, int(os.environ.get("REPRO_FUZZ_SCALE", "1")))
+
+SEEDS = range(3 * FUZZ_SCALE)
 N_RECORDS = 300
 LATENESS = 10_000
 
@@ -128,6 +132,7 @@ def test_batch_split_invariance_inorder(tech, seed_index):
     _run_three_ways(factory, _inorder_elements(seed), seed)
 
 
+@pytest.mark.ooo
 @pytest.mark.parametrize(
     "tech, seed_index", OOO_MATRIX, ids=[f"{t}-s{s}" for t, s in OOO_MATRIX]
 )
@@ -142,7 +147,11 @@ def test_batch_split_invariance_out_of_order(tech, seed_index):
     _run_three_ways(factory, _ooo_elements(seed), seed)
 
 
-KERNELS = ["flatfat", "two_stacks", "subtract_on_evict"]
+KERNELS = ["flatfat", "finger_tree", "two_stacks", "subtract_on_evict"]
+
+#: Kernels that absorb mid-list inserts natively -- the two the selector
+#: can actually put on a disordered stream.
+OOO_KERNELS = ["flatfat", "finger_tree"]
 
 
 @pytest.mark.parametrize(
@@ -165,6 +174,31 @@ def test_batch_split_invariance_per_kernel(kernel, seed_index):
         return operator
 
     _run_three_ways(factory, _inorder_elements(seed), seed)
+
+
+@pytest.mark.ooo
+@pytest.mark.parametrize(
+    "kernel, seed_index",
+    [(k, s) for k in OOO_KERNELS for s in SEEDS],
+    ids=[f"{k}-s{s}" for k in OOO_KERNELS for s in SEEDS],
+)
+def test_batch_split_invariance_per_kernel_out_of_order(kernel, seed_index):
+    """Disordered streams cross the batch bail-out branches *and* the
+    kernels' positional insert/update paths; chunking must stay
+    invisible for both insert-capable kernels."""
+    seed = _child_seed(f"kernel-ooo:{kernel}", seed_index)
+
+    def factory():
+        operator = GeneralSlicingOperator(
+            stream_in_order=False,
+            eager=True,
+            kernel=kernel,
+            allowed_lateness=LATENESS,
+        )
+        _add_queries(operator, sessions=True)
+        return operator
+
+    _run_three_ways(factory, _ooo_elements(seed), seed)
 
 
 @pytest.mark.parametrize("seed_index", SEEDS)

@@ -2,6 +2,8 @@
 
 import pytest
 
+pytestmark = pytest.mark.ooo
+
 from conftest import final_values, run_operator, shuffled_with_disorder
 from repro import GeneralSlicingOperator, Record, Watermark
 from repro.aggregations import M4, CollectList, Median, Min, Sum, SumWithoutInvert
